@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series.  Simulations are expensive, so:
+
+* benchmarks run each measurement exactly once (``benchmark.pedantic`` with a
+  single round);
+* results are cached per process by :mod:`repro.systems.registry`, so figures
+  that share underlying runs (Fig. 12 top/bottom, Table 3, §7.4) pay once;
+* by default a representative subset of applications is used.  Set
+  ``REPRO_BENCH_FULL=1`` to sweep all 17 applications (slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.systems.fidelity import Fidelity
+from repro.workloads.applications import COMPUTE_BOUND_APPS, MEMORY_BOUND_APPS
+
+#: Fidelity used by the benchmark harness (kept modest so the whole suite
+#: completes in minutes; raise for higher-precision reproductions).
+BENCH_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 32.0,
+    trace_accesses=8_000,
+    warmup_accesses=3_000,
+    search_trace_accesses=4_000,
+    search_warmup_accesses=1_500,
+)
+
+FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Representative subset: saturating, thrashing and compute-bound workloads.
+SUBSET_MEMORY_BOUND = ["p-bfs", "cfd", "sgem", "kmeans", "spmv", "page-r"]
+SUBSET_COMPUTE_BOUND = ["mri-q"]
+
+BENCH_MEMORY_BOUND = MEMORY_BOUND_APPS if FULL_SWEEP else SUBSET_MEMORY_BOUND
+BENCH_COMPUTE_BOUND = COMPUTE_BOUND_APPS if FULL_SWEEP else SUBSET_COMPUTE_BOUND
+BENCH_ALL_APPS = BENCH_MEMORY_BOUND + BENCH_COMPUTE_BOUND
+
+
+@pytest.fixture(scope="session")
+def bench_fidelity() -> Fidelity:
+    """Fidelity preset shared by all benchmarks."""
+    return BENCH_FIDELITY
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

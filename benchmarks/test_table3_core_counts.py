@@ -1,0 +1,43 @@
+"""Table 3: number of GPU cores executing application threads per evaluated system."""
+
+from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_once
+
+from repro.analysis.report import format_table
+from repro.systems.registry import evaluate_application
+
+
+def test_table3_compute_mode_core_counts(benchmark):
+    """Regenerate Table 3: IBL, Morpheus-Basic and Morpheus-ALL compute-SM counts."""
+
+    def build():
+        rows = {}
+        for app in BENCH_MEMORY_BOUND:
+            rows[app] = {
+                "IBL": evaluate_application("IBL", app, fidelity=BENCH_FIDELITY).num_compute_sms,
+                "Morpheus-Basic": evaluate_application(
+                    "Morpheus-Basic", app, fidelity=BENCH_FIDELITY
+                ).num_compute_sms,
+                "Morpheus-ALL": evaluate_application(
+                    "Morpheus-ALL", app, fidelity=BENCH_FIDELITY
+                ).num_compute_sms,
+            }
+        return rows
+
+    rows = run_once(benchmark, build)
+
+    table = [[app, row["IBL"], row["Morpheus-Basic"], row["Morpheus-ALL"]] for app, row in rows.items()]
+    print("\n" + format_table(
+        ["app", "IBL", "Morpheus-Basic", "Morpheus-ALL"], table,
+        title="[Table 3] GPU cores executing application threads (out of 68)",
+    ))
+
+    for app, row in rows.items():
+        # Morpheus leaves some cores for the extended LLC on memory-bound apps,
+        # so it never uses more compute cores than the GPU has.
+        assert 1 <= row["Morpheus-ALL"] <= 68
+        assert 1 <= row["Morpheus-Basic"] <= 68
+    # Compression enables larger extended LLCs per cache SM, which frees cores
+    # for computation: Morpheus-ALL uses at least as many compute SMs on average.
+    average_all = sum(row["Morpheus-ALL"] for row in rows.values()) / len(rows)
+    average_basic = sum(row["Morpheus-Basic"] for row in rows.values()) / len(rows)
+    assert average_all >= average_basic * 0.9

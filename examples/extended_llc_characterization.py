@@ -1,0 +1,46 @@
+"""Characterize the extended LLC kernel (the §5 / Figure 11 study).
+
+Prints capacity, latency, bandwidth and energy-per-byte of the extended LLC
+for the register file, shared memory and L1 implementations across warp
+counts, plus the combined RF+L1 configuration Morpheus uses.
+
+Usage::
+
+    python examples/extended_llc_characterization.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.characterization.extended_llc_kernel import (
+    ExtendedLLCCharacterization,
+    WARP_COUNTS,
+    combined_configuration,
+)
+
+
+def main() -> None:
+    model = ExtendedLLCCharacterization()
+    rows = [
+        [point.store, point.num_warps, point.capacity_kib, point.latency_ns,
+         point.bandwidth_gbps, point.energy_pj_per_byte]
+        for point in model.figure11(WARP_COUNTS)
+    ]
+    print(format_table(
+        ["store", "warps", "capacity (KiB)", "latency (ns)", "bandwidth (GB/s)", "energy (pJ/B)"],
+        rows,
+        title="Extended LLC kernel characterization (Figure 11):",
+    ))
+
+    print("\nIdeal-interconnect bandwidth at 48 warps (GB/s):")
+    for store, value in model.ideal_interconnect_bandwidths(48).items():
+        print(f"  {store:<16s} {value:7.1f}")
+
+    combined = combined_configuration(model)
+    print("\nCombined RF(32 warps) + L1(16 warps) configuration per cache-mode SM:")
+    for key, value in combined.items():
+        print(f"  {key:<20s} {value:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

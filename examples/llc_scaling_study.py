@@ -1,0 +1,53 @@
+"""LLC scaling study: reproduce the motivation experiments (Figures 1 and 2) for one app.
+
+Sweeps the number of SMs for a chosen application and then measures how much
+a 2x / 4x conventional LLC would help — the motivation behind Morpheus.
+
+Usage::
+
+    python examples/llc_scaling_study.py [application]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweep import (
+    llc_scaling_speedups,
+    llc_scaling_sweep,
+    normalized_ipc_curve,
+    sm_count_sweep,
+)
+from repro.systems.fidelity import FAST_FIDELITY
+from repro.workloads.applications import get_application
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
+    profile = get_application(name)
+    print(f"Application: {profile.name} ({profile.workload_class.value})")
+
+    sm_counts = (10, 20, 34, 50, 68)
+    sweep = sm_count_sweep(profile, sm_counts=sm_counts, fidelity=FAST_FIDELITY)
+    curve = normalized_ipc_curve(sweep)
+    print("\nSM scaling (normalized IPC, Figure 1 style):")
+    print("  " + format_series(profile.name, curve))
+    best_sms = max(sweep, key=lambda count: sweep[count].ipc)
+    print(f"  performance peaks at {best_sms} SMs "
+          f"(bottleneck there: {sweep[best_sms].bottleneck})")
+
+    scaling = llc_scaling_sweep(
+        profile, scale_factors=(1.0, 2.0, 4.0), fidelity=FAST_FIDELITY, sm_candidates=sm_counts
+    )
+    speedups = llc_scaling_speedups(scaling)
+    rows = [[f"{factor:.0f}x LLC", stats.num_compute_sms, stats.llc_hit_rate, speedups[factor]]
+            for factor, stats in scaling.items()]
+    print("\n" + format_table(
+        ["configuration", "best SMs", "LLC hit rate", "normalized IPC"], rows,
+        title="Larger conventional LLCs (Figure 2 style):",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: simulate one memory-bound application with and without Morpheus.
+
+Runs the kmeans workload on (1) the baseline RTX 3080 model and (2) a
+Morpheus-ALL configuration that turns 44 idle SMs into extended LLC capacity,
+then prints the key metrics side by side.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MorpheusConfig, SimulationConfig, get_application, simulate
+
+
+def main() -> None:
+    app = get_application("kmeans")
+
+    baseline = simulate(
+        app,
+        SimulationConfig(num_compute_sms=24, power_gate_unused=True, system_name="IBL"),
+    )
+    morpheus = simulate(
+        app,
+        SimulationConfig(
+            morpheus=MorpheusConfig(enable_compression=True, enable_indirect_mov_isa=True),
+            num_compute_sms=24,
+            num_cache_sms=44,
+            power_gate_unused=True,
+            system_name="Morpheus-ALL",
+        ),
+    )
+
+    print(f"Application: {app.name} ({app.workload_class.value}, "
+          f"{app.shared_footprint_mib:.1f} MiB shared footprint + "
+          f"{app.per_sm_footprint_kib:.0f} KiB per SM)")
+    print()
+    for stats in (baseline, morpheus):
+        print(stats.summary())
+        print(f"    extended LLC served {stats.extended_fraction:.0%} of LLC traffic "
+              f"(hit rate {stats.extended_llc_hit_rate:.0%})")
+        print(f"    off-chip traffic: {stats.dram_accesses_per_ki:.1f} accesses per kilo-instruction")
+        print(f"    average power: {stats.average_power_watts:.0f} W, "
+              f"perf/W: {stats.performance_per_watt:.3f}")
+        print()
+
+    speedup = baseline.execution_cycles / morpheus.execution_cycles
+    print(f"Morpheus-ALL speedup over the improved baseline: {speedup:.2f}x")
+    energy_gain = morpheus.performance_per_watt / baseline.performance_per_watt
+    print(f"Morpheus-ALL energy-efficiency gain: {energy_gain:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Calibration harness: prints Figure 1 / Figure 2 shapes for every application.
+
+Used during development to tune the workload-model parameters in
+``repro.workloads.applications`` so the reproduced figures match the paper's
+qualitative behaviour.  Not part of the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.sweep import (
+    llc_scaling_speedups,
+    llc_scaling_sweep,
+    normalized_ipc_curve,
+    sm_count_sweep,
+)
+from repro.systems.fidelity import Fidelity
+from repro.workloads.applications import APPLICATIONS, MEMORY_BOUND_APPS
+
+CAL_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 16.0,
+    trace_accesses=12_000,
+    warmup_accesses=5_000,
+    search_trace_accesses=6_000,
+    search_warmup_accesses=2_500,
+)
+
+SM_POINTS = (10, 20, 34, 50, 68)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", nargs="*", default=None, help="subset of applications")
+    parser.add_argument("--skip-fig2", action="store_true", help="only print Figure 1 curves")
+    args = parser.parse_args()
+
+    names = args.apps or list(APPLICATIONS)
+    start = time.time()
+    fig2_4x = {}
+    for name in names:
+        sweep = sm_count_sweep(name, sm_counts=SM_POINTS, fidelity=CAL_FIDELITY)
+        curve = normalized_ipc_curve(sweep)
+        curve_text = " ".join(f"{c}:{v:.2f}" for c, v in curve.items())
+        print(f"{name:>8s} fig1  {curve_text}")
+        if not args.skip_fig2 and name in MEMORY_BOUND_APPS:
+            scaling = llc_scaling_sweep(name, scale_factors=(1.0, 2.0, 4.0), fidelity=CAL_FIDELITY,
+                                        sm_candidates=SM_POINTS)
+            speedups = llc_scaling_speedups(scaling)
+            fig2_4x[name] = speedups[4.0]
+            print(f"{name:>8s} fig2  2x:{speedups[2.0]:.2f} 4x:{speedups[4.0]:.2f}")
+    if fig2_4x:
+        print(f"gmean 4x speedup: {geometric_mean(list(fig2_4x.values())):.2f}")
+    print(f"elapsed {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

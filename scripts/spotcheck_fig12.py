@@ -1,0 +1,43 @@
+"""Quick spot check of the Figure 12 headline: Morpheus vs the baselines."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.metrics import geometric_mean
+from repro.systems.fidelity import Fidelity
+from repro.systems.registry import clear_caches, evaluate_application
+from repro.workloads.applications import MEMORY_BOUND_APPS
+
+FIDELITY = Fidelity(
+    capacity_scale=1.0 / 32.0,
+    trace_accesses=8_000,
+    warmup_accesses=3_000,
+    search_trace_accesses=4_000,
+    search_warmup_accesses=1_500,
+)
+
+APPS = ["cfd", "kmeans", "p-bfs", "sgem", "spmv", "page-r"]
+SYSTEMS = ["BL", "IBL", "IBL-4X-LLC", "Unified-SM-Mem", "Morpheus-Basic", "Morpheus-ALL"]
+
+
+def main() -> None:
+    start = time.time()
+    speedups = {name: [] for name in SYSTEMS}
+    for app in APPS:
+        base = evaluate_application("BL", app, fidelity=FIDELITY)
+        row = []
+        for system in SYSTEMS:
+            stats = evaluate_application(system, app, fidelity=FIDELITY)
+            sp = base.execution_cycles / stats.execution_cycles
+            speedups[system].append(sp)
+            row.append(f"{system}:{sp:.2f}(c{stats.num_compute_sms}/$ {stats.num_cache_sms})")
+        print(f"{app:>8s} " + "  ".join(row))
+    print("gmean speedups over BL:")
+    for system in SYSTEMS:
+        print(f"  {system:<16s} {geometric_mean(speedups[system]):.3f}")
+    print(f"elapsed {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Analysis utilities: metrics, parameter sweeps, reports and overheads."""
+
+from repro.analysis.latency_breakdown import LatencyBreakdown, llc_latency_timelines
+from repro.analysis.metrics import (
+    geometric_mean,
+    normalize,
+    normalized_series,
+    speedup,
+)
+from repro.analysis.overheads import MorpheusOverheads, compute_overheads
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweep import llc_scaling_sweep, sm_count_sweep
+
+__all__ = [
+    "LatencyBreakdown",
+    "MorpheusOverheads",
+    "compute_overheads",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "llc_latency_timelines",
+    "llc_scaling_sweep",
+    "normalize",
+    "normalized_series",
+    "sm_count_sweep",
+    "speedup",
+]

@@ -1,0 +1,15 @@
+"""Characterization of the extended LLC kernel (§5, Figure 11)."""
+
+from repro.characterization.extended_llc_kernel import (
+    CharacterizationPoint,
+    ExtendedLLCCharacterization,
+    WARP_COUNTS,
+    combined_configuration,
+)
+
+__all__ = [
+    "CharacterizationPoint",
+    "ExtendedLLCCharacterization",
+    "WARP_COUNTS",
+    "combined_configuration",
+]

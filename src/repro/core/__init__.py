@@ -1,0 +1,60 @@
+"""Morpheus: the paper's primary contribution.
+
+This subpackage implements both halves of the hardware/software co-design:
+
+* **Hardware** — the per-LLC-partition :class:`~repro.core.controller.MorpheusController`
+  with its :class:`~repro.core.address_separation.AddressSeparator`,
+  dual-Bloom-filter :class:`~repro.core.hit_miss_predictor.HitMissPredictor`
+  and :class:`~repro.core.query_logic.ExtendedLLCQueryLogic` (request queue,
+  warp status table, read/write data buffers).
+* **Software** — the extended LLC kernel
+  (:class:`~repro.core.extended_llc.ExtendedLLCKernel`) that lays the extended
+  LLC tag/data arrays out in the register file
+  (:class:`~repro.core.register_file_store.RegisterFileStore`), shared memory
+  and L1 of cache-mode SMs, including the Indirect-MOV procedure and BDI
+  cache compression.
+"""
+
+from repro.core.address_separation import AddressSeparator
+from repro.core.bloom_filter import BloomFilter
+from repro.core.compression import (
+    BDICompressor,
+    CompressionLevel,
+    CompressionLevelAllocator,
+)
+from repro.core.config import ExtendedLLCTiming, MorpheusConfig
+from repro.core.controller import MorpheusController, PredictorMode
+from repro.core.extended_llc import ExtendedLLC, ExtendedLLCKernel
+from repro.core.hit_miss_predictor import HitMissPredictor
+from repro.core.indirect_mov import IndirectMovImplementation, IndirectMovModel
+from repro.core.l1_store import L1Store
+from repro.core.query_logic import (
+    ExtendedLLCQueryLogic,
+    RequestQueue,
+    WarpStatusTable,
+)
+from repro.core.register_file_store import RegisterFileStore
+from repro.core.shared_memory_store import SharedMemoryStore
+
+__all__ = [
+    "AddressSeparator",
+    "BDICompressor",
+    "BloomFilter",
+    "CompressionLevel",
+    "CompressionLevelAllocator",
+    "ExtendedLLC",
+    "ExtendedLLCKernel",
+    "ExtendedLLCQueryLogic",
+    "ExtendedLLCTiming",
+    "HitMissPredictor",
+    "IndirectMovImplementation",
+    "IndirectMovModel",
+    "L1Store",
+    "MorpheusConfig",
+    "MorpheusController",
+    "PredictorMode",
+    "RegisterFileStore",
+    "RequestQueue",
+    "SharedMemoryStore",
+    "WarpStatusTable",
+]

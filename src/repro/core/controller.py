@@ -1,0 +1,315 @@
+"""The Morpheus controller (§4.1): one hardware unit per LLC partition.
+
+The controller performs the three tasks the paper assigns it:
+
+1. **Address separation** between the conventional LLC slice and the extended
+   LLC (:class:`~repro.core.address_separation.AddressSeparator`).
+2. **Communication** with the extended LLC: outstanding requests are tracked
+   in the :class:`~repro.core.query_logic.ExtendedLLCQueryLogic` (request
+   queue, warp status table, read/write data buffers), and extended-LLC
+   traffic pays an extra interconnect round trip to reach the owning
+   cache-mode SM.
+3. **Hit/miss prediction** with the dual Bloom filter scheme
+   (:class:`~repro.core.hit_miss_predictor.HitMissPredictor`), so that
+   predicted extended-LLC misses go straight to DRAM and cost no more than a
+   conventional LLC miss (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.address_separation import AddressSeparator
+from repro.core.config import MorpheusConfig
+from repro.core.extended_llc import ExtendedLLC
+from repro.core.hit_miss_predictor import HitMissPredictor
+from repro.core.query_logic import ExtendedLLCQueryLogic
+from repro.memory.llc import LLCPartition
+from repro.memory.request import MemoryRequest
+
+DramAccessFn = Callable[[MemoryRequest, float], float]
+NocRoundTripFn = Callable[[int, float], float]
+
+
+class PredictorMode(enum.Enum):
+    """Hit/miss predictor flavour used by the controller (Fig. 13 ablation)."""
+
+    BLOOM = "bloom"
+    NONE = "none"
+    PERFECT = "perfect"
+
+
+@dataclass
+class ControllerStats:
+    """Per-controller (per-partition) statistics."""
+
+    requests: int = 0
+    conventional_requests: int = 0
+    extended_requests: int = 0
+    conventional_hits: int = 0
+    extended_hits: int = 0
+    extended_misses: int = 0
+    predicted_misses: int = 0
+    false_positive_trips: int = 0
+    dram_accesses: int = 0
+    writebacks: int = 0
+
+    @property
+    def extended_hit_rate(self) -> float:
+        """Hit rate of extended-LLC-bound requests."""
+        if self.extended_requests == 0:
+            return 0.0
+        return self.extended_hits / self.extended_requests
+
+    @property
+    def llc_hits(self) -> int:
+        """Hits in either LLC (conventional or extended)."""
+        return self.conventional_hits + self.extended_hits
+
+    @property
+    def llc_hit_rate(self) -> float:
+        """Overall LLC hit rate observed by this controller."""
+        if self.requests == 0:
+            return 0.0
+        return self.llc_hits / self.requests
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one LLC request processed by the Morpheus controller."""
+
+    hit_level: str                      # "llc", "extended_llc" or "dram"
+    latency_cycles: float
+    served_by_extended_llc: bool = False
+    predicted_miss: bool = False
+    false_positive: bool = False
+    writebacks: List[int] = field(default_factory=list)
+    store_kind: str = ""
+
+
+class MorpheusController:
+    """The per-partition Morpheus controller.
+
+    Args:
+        partition: The conventional LLC slice colocated with this controller.
+        extended_llc: The aggregate extended LLC (``None`` or an empty one
+            disables Morpheus and the controller degenerates to a plain LLC
+            partition front-end).
+        config: Morpheus configuration.
+        core_clock_ghz: GPU core clock, used to convert the timing model's
+            nanoseconds into cycles.
+        dram_access: Callback ``(request, at_cycle) -> latency_cycles`` used
+            to fetch blocks from DRAM.  A constant-latency default is used
+            when the simulator does not inject one.
+        noc_round_trip: Callback ``(size_bytes, at_cycle) -> latency_cycles``
+            for the extra controller <-> cache-mode-SM round trip.  Defaults
+            to twice the timing model's one-way latency.
+    """
+
+    def __init__(
+        self,
+        partition: LLCPartition,
+        extended_llc: Optional[ExtendedLLC],
+        config: MorpheusConfig | None = None,
+        core_clock_ghz: float = 1.44,
+        dram_access: Optional[DramAccessFn] = None,
+        noc_round_trip: Optional[NocRoundTripFn] = None,
+    ) -> None:
+        self.partition = partition
+        self.extended_llc = extended_llc if extended_llc is not None and extended_llc.enabled else None
+        self.config = config or MorpheusConfig()
+        self.core_clock_ghz = core_clock_ghz
+        self.predictor_mode = PredictorMode(self.config.predictor)
+
+        extended_capacity = (
+            int(self.extended_llc.effective_capacity_bytes()) if self.extended_llc else 0
+        )
+        num_partitions = self.partition.config.num_partitions
+        per_partition_extended = extended_capacity // num_partitions if num_partitions else 0
+        self.separator = AddressSeparator(
+            conventional_capacity_bytes=self.partition.cache.capacity_bytes,
+            extended_capacity_bytes=per_partition_extended,
+            block_size=self.config.block_size,
+            num_extended_sets=max(1, self.extended_sets_per_partition()),
+        )
+        self.predictor = HitMissPredictor(
+            num_sets=max(1, self.extended_sets_per_partition()),
+            associativity=self.config.extended_llc_associativity,
+            filter_bytes=self.config.bloom_filter_bytes,
+        )
+        self.query_logic = ExtendedLLCQueryLogic(
+            num_sets=max(1, self.extended_sets_per_partition()),
+            block_size=self.config.block_size,
+        )
+        self._dram_access = dram_access
+        self._noc_round_trip = noc_round_trip
+        self.stats = ControllerStats()
+
+    # -- helpers --------------------------------------------------------------
+
+    def extended_sets_per_partition(self) -> int:
+        """Extended LLC sets this partition's controller is responsible for."""
+        if not self.extended_llc:
+            return 1
+        total = self.extended_llc.total_sets
+        per_partition = total // self.partition.config.num_partitions
+        return min(self.config.max_extended_sets_per_partition, max(1, per_partition))
+
+    def _ns_to_cycles(self, ns: float) -> float:
+        return ns * self.core_clock_ghz
+
+    def _default_dram_latency(self, request: MemoryRequest, at_cycle: float) -> float:
+        # ~600 ns at the core clock; the simulator normally injects the real
+        # DRAM model which adds queueing on top.
+        return 600.0 * self.core_clock_ghz
+
+    def _default_noc_round_trip(self, size_bytes: int, at_cycle: float) -> float:
+        return self._ns_to_cycles(2.0 * self.config.timing.noc_one_way_ns)
+
+    def _dram(self, request: MemoryRequest, at_cycle: float) -> float:
+        fn = self._dram_access or self._default_dram_latency
+        self.stats.dram_accesses += 1
+        return fn(request, at_cycle)
+
+    def _noc(self, size_bytes: int, at_cycle: float) -> float:
+        fn = self._noc_round_trip or self._default_noc_round_trip
+        return fn(size_bytes, at_cycle)
+
+    # -- the LLC lookup procedure (Figure 3 / Figure 6a) ------------------------------
+
+    def access(self, request: MemoryRequest, now_cycle: float = 0.0) -> AccessOutcome:
+        """Process one LLC request arriving at this partition."""
+        self.stats.requests += 1
+        decision = self.separator.route(request.address)
+
+        if decision.target == "conventional" or not self.extended_llc:
+            return self._access_conventional(request, now_cycle)
+        return self._access_extended(request, now_cycle, decision.extended_set)
+
+    def _access_conventional(self, request: MemoryRequest, now_cycle: float) -> AccessOutcome:
+        self.stats.conventional_requests += 1
+        hit, latency, writeback = self.partition.access(request, now_cycle)
+        writebacks = [writeback] if writeback is not None else []
+        if writebacks:
+            self.stats.writebacks += len(writebacks)
+        if hit:
+            self.stats.conventional_hits += 1
+            return AccessOutcome(
+                hit_level="llc", latency_cycles=latency, writebacks=writebacks
+            )
+        dram_latency = self._dram(request, now_cycle + latency)
+        return AccessOutcome(
+            hit_level="dram",
+            latency_cycles=latency + dram_latency,
+            writebacks=writebacks,
+        )
+
+    def _predict(self, set_index: int, global_set: int, tag: int, address: int) -> bool:
+        """Predict whether the extended LLC holds ``address`` (True = hit)."""
+        if self.predictor_mode == PredictorMode.NONE:
+            return True  # always forward: equivalent to predicting a hit
+        if self.predictor_mode == PredictorMode.PERFECT:
+            assert self.extended_llc is not None
+            return self.extended_llc.resident(global_set, address)
+        return self.predictor.predict(set_index, tag)
+
+    def _global_set(self, set_index: int) -> int:
+        """Map this partition's local extended set index onto the global extended LLC.
+
+        Each partition's controller owns a disjoint slice of the extended LLC
+        sets so that the full extended capacity is used across partitions.
+        """
+        return self.partition.partition_id * self.extended_sets_per_partition() + set_index
+
+    def _access_extended(
+        self, request: MemoryRequest, now_cycle: float, set_index: int
+    ) -> AccessOutcome:
+        assert self.extended_llc is not None
+        self.stats.extended_requests += 1
+        tag = request.address // self.config.block_size
+        global_set = self._global_set(set_index)
+
+        # The request is buffered by the query logic; the controller's own
+        # pipeline latency is folded into the timing model's dispatch term.
+        self.query_logic.admit(request)
+
+        predicted_hit = self._predict(set_index, global_set, tag, request.address)
+        actual_resident = self.extended_llc.resident(global_set, request.address)
+        if self.predictor_mode == PredictorMode.BLOOM:
+            self.predictor.record_outcome(predicted_hit, actual_resident)
+
+        if not predicted_hit:
+            # Predicted miss: go straight to DRAM (as fast as a conventional miss),
+            # then install the block in the extended LLC.
+            self.stats.predicted_misses += 1
+            self.stats.extended_misses += 1
+            self.query_logic.request_queue.dequeue()
+            dram_latency = self._dram(request, now_cycle)
+            fill = self.extended_llc.fill(global_set, request.address, dirty=request.is_write)
+            self.predictor.record_access(set_index, tag)
+            writebacks = list(fill.writebacks)
+            if writebacks:
+                self.stats.writebacks += len(writebacks)
+            latency = self.partition.config.hit_latency_cycles * 0.25 + dram_latency
+            return AccessOutcome(
+                hit_level="dram",
+                latency_cycles=latency,
+                predicted_miss=True,
+                writebacks=writebacks,
+                store_kind=fill.store_kind,
+            )
+
+        # Predicted hit: pay the NoC round trip to the cache-mode SM and run
+        # the extended LLC kernel's lookup there.
+        dispatched = self.query_logic.dispatch(set_index % self.query_logic.warp_status.num_rows)
+        noc_latency = self._noc(request.size_bytes, now_cycle)
+        result = self.extended_llc.access(global_set, request.address, is_write=request.is_write)
+        service_latency = self._ns_to_cycles(result.service_latency_ns)
+        if dispatched is not None:
+            self.query_logic.complete(set_index % self.query_logic.warp_status.num_rows, result.hit)
+
+        if result.hit:
+            self.stats.extended_hits += 1
+            self.predictor.record_access(set_index, tag)
+            return AccessOutcome(
+                hit_level="extended_llc",
+                latency_cycles=noc_latency + service_latency,
+                served_by_extended_llc=True,
+                store_kind=result.store_kind,
+            )
+
+        # False positive (or no-prediction miss): the round trip was wasted;
+        # fetch from DRAM and fill the extended LLC.
+        self.stats.extended_misses += 1
+        if self.predictor_mode != PredictorMode.PERFECT:
+            self.stats.false_positive_trips += 1
+        dram_latency = self._dram(request, now_cycle + noc_latency + service_latency)
+        fill = self.extended_llc.fill(global_set, request.address, dirty=request.is_write)
+        self.predictor.record_access(set_index, tag)
+        writebacks = list(fill.writebacks)
+        if writebacks:
+            self.stats.writebacks += len(writebacks)
+        return AccessOutcome(
+            hit_level="dram",
+            latency_cycles=noc_latency + service_latency + dram_latency,
+            false_positive=True,
+            writebacks=writebacks,
+            store_kind=fill.store_kind,
+        )
+
+    # -- overhead reporting (§7.5) ---------------------------------------------------
+
+    def storage_overhead_bytes(self) -> int:
+        """On-chip storage added by this controller (Bloom filters + query logic)."""
+        return (
+            self.config.bloom_filter_storage_bytes_per_partition
+            + self.config.query_logic_storage_bytes
+        )
+
+    def reset(self) -> None:
+        """Reset predictor, query logic and statistics (LLC contents preserved)."""
+        self.predictor.reset()
+        self.query_logic.reset()
+        self.stats = ControllerStats()

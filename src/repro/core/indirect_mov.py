@@ -1,0 +1,149 @@
+"""The Indirect-MOV procedure and its native ISA variant (§4.2.1, §4.3.2).
+
+The extended LLC kernel stores each cache block of a set in a different warp
+register.  After the tag lookup it therefore needs to read *the register
+whose index is held in another register* — an indirect register access that
+NVIDIA's PTX ISA does not provide directly.
+
+Two implementations are modelled:
+
+* **Software** (Algorithm 2): a ``brx.idx`` branch into a 32-case switch where
+  case *i* executes ``MOV Ri, Raux``.  Three instructions (branch, MOV,
+  return) with two of them branches causing irregular control flow.
+* **Hardware** (§4.3.2): a new Indirect-MOV instruction where the operand
+  collector performs two sequential register file reads — first the index
+  register, then the indirectly addressed register — selected by a single
+  added multiplexer.
+
+The functional model executes the access on a register-array abstraction so
+that tests can confirm both variants return identical data; the cost model
+exposes instruction counts and latencies for the performance simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class IndirectMovImplementation(enum.Enum):
+    """Which Indirect-MOV flavour the extended LLC kernel uses."""
+
+    SOFTWARE_BRX = "software_brx"
+    HARDWARE_ISA = "hardware_isa"
+
+
+@dataclass(frozen=True)
+class IndirectMovCost:
+    """Cost of one indirect register access."""
+
+    instructions: int
+    register_file_reads: int
+    branches: int
+    latency_ns: float
+
+
+class IndirectMovModel:
+    """Functional + cost model of indirect register file accesses.
+
+    Args:
+        num_data_registers: Number of data-array registers addressable by the
+            procedure (32 branch targets in Algorithm 2).
+        software_latency_ns: Latency of the software switch-case procedure.
+        hardware_latency_ns: Latency of the native instruction.
+    """
+
+    def __init__(
+        self,
+        num_data_registers: int = 32,
+        software_latency_ns: float = 18.0,
+        hardware_latency_ns: float = 4.0,
+    ) -> None:
+        if num_data_registers <= 0:
+            raise ValueError("num_data_registers must be positive")
+        if software_latency_ns <= 0 or hardware_latency_ns <= 0:
+            raise ValueError("latencies must be positive")
+        self.num_data_registers = num_data_registers
+        self.software_latency_ns = software_latency_ns
+        self.hardware_latency_ns = hardware_latency_ns
+
+    # -- functional model ------------------------------------------------------
+
+    def read(
+        self,
+        registers: Sequence[object],
+        index_register_value: int,
+        implementation: IndirectMovImplementation,
+    ) -> object:
+        """Read ``registers[index_register_value]`` via the chosen implementation.
+
+        Both implementations must return the same value; the distinction is
+        purely in cost.  ``index_register_value`` models the contents of the
+        auxiliary register produced by the tag lookup (R_aux3).
+        """
+        if not 0 <= index_register_value < self.num_data_registers:
+            raise ValueError(
+                f"register index {index_register_value} out of range "
+                f"[0, {self.num_data_registers})"
+            )
+        if index_register_value >= len(registers):
+            raise ValueError("register index exceeds the provided register array")
+        if implementation == IndirectMovImplementation.SOFTWARE_BRX:
+            return self._read_software(registers, index_register_value)
+        return self._read_hardware(registers, index_register_value)
+
+    def _read_software(self, registers: Sequence[object], index: int) -> object:
+        """Emulate the brx.idx switch: dispatch to the case for ``index``."""
+        # Build the branch-target list L0..L{n-1}; each target reads one register.
+        branch_targets = [lambda i=i: registers[i] for i in range(self.num_data_registers)]
+        return branch_targets[index]()
+
+    def _read_hardware(self, registers: Sequence[object], index: int) -> object:
+        """Emulate the operand collector's two sequential register file reads."""
+        # First read: the register holding the index (modelled by `index` itself).
+        # Second read: the indirectly addressed data register.
+        return registers[index]
+
+    def write(
+        self,
+        registers: List[object],
+        index_register_value: int,
+        value: object,
+        implementation: IndirectMovImplementation,
+    ) -> None:
+        """Write ``value`` into ``registers[index_register_value]`` (miss fills)."""
+        if not 0 <= index_register_value < self.num_data_registers:
+            raise ValueError(
+                f"register index {index_register_value} out of range "
+                f"[0, {self.num_data_registers})"
+            )
+        if index_register_value >= len(registers):
+            raise ValueError("register index exceeds the provided register array")
+        registers[index_register_value] = value
+
+    # -- cost model ------------------------------------------------------------
+
+    def cost(self, implementation: IndirectMovImplementation) -> IndirectMovCost:
+        """Per-access cost of the chosen implementation."""
+        if implementation == IndirectMovImplementation.SOFTWARE_BRX:
+            return IndirectMovCost(
+                instructions=3,            # brx.idx + MOV + return
+                register_file_reads=2,
+                branches=2,                # brx.idx and return are branches
+                latency_ns=self.software_latency_ns,
+            )
+        return IndirectMovCost(
+            instructions=1,                # the native Indirect-MOV instruction
+            register_file_reads=2,         # two sequential operand collector reads
+            branches=0,
+            latency_ns=self.hardware_latency_ns,
+        )
+
+    def latency_ns(self, implementation: IndirectMovImplementation) -> float:
+        """Latency of one indirect access for ``implementation``."""
+        return self.cost(implementation).latency_ns
+
+    def speedup_of_hardware(self) -> float:
+        """Latency ratio software / hardware (the benefit of the new instruction)."""
+        return self.software_latency_ns / self.hardware_latency_ns

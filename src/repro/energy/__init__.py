@@ -1,0 +1,11 @@
+"""Energy modelling (the AccelWattch-style component model)."""
+
+from repro.energy.components import ComponentEnergies, DEFAULT_ENERGIES
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "ComponentEnergies",
+    "DEFAULT_ENERGIES",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

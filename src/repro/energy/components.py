@@ -1,0 +1,51 @@
+"""Per-component energy constants.
+
+The paper reports the key numbers we need: ~10 pJ/B for the conventional LLC,
+~53-61 pJ/B for the extended LLC (register file + L1 combination), and cites
+off-chip DRAM accesses as the dominant energy consumer that Morpheus reduces.
+Off-chip GDDR6X access energy is taken as ~20 pJ/bit (≈160 pJ/B) including
+I/O, consistent with the literature the paper builds on.  Static/idle power
+uses AccelWattch-style constants for an Ampere-class GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentEnergies:
+    """Energy constants used by :class:`repro.energy.model.EnergyModel`.
+
+    All per-byte numbers are in picojoules per byte, powers in watts.
+    """
+
+    dram_pj_per_byte: float = 160.0
+    llc_pj_per_byte: float = 10.0
+    extended_llc_pj_per_byte: float = 61.0
+    l1_pj_per_byte: float = 8.0
+    noc_pj_per_byte: float = 5.0
+    core_dynamic_pj_per_instruction: float = 120.0
+    sm_static_watts: float = 1.1
+    sm_cache_mode_watts: float = 0.55
+    base_static_watts: float = 45.0
+    morpheus_controller_watts: float = 0.28
+    core_clock_ghz: float = 1.44
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dram_pj_per_byte",
+            "llc_pj_per_byte",
+            "extended_llc_pj_per_byte",
+            "l1_pj_per_byte",
+            "noc_pj_per_byte",
+            "core_dynamic_pj_per_instruction",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.core_clock_ghz <= 0:
+            raise ValueError("core_clock_ghz must be positive")
+
+
+DEFAULT_ENERGIES = ComponentEnergies()
+"""Default energy constants for the RTX 3080-class baseline."""

@@ -1,0 +1,75 @@
+"""GPU kernel launches and thread blocks (CTAs).
+
+A GPU program consists of kernels launched as grids of thread blocks
+(Cooperative Thread Arrays).  The CTA scheduler assigns CTAs to SMs in
+compute mode; Morpheus additionally launches the *extended LLC kernel* (a
+special helper kernel, see :mod:`repro.core.extended_llc`) on SMs in cache
+mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class ThreadBlock:
+    """One CTA: a block of threads assigned to a single SM as a unit."""
+
+    cta_id: int
+    num_threads: int = 256
+
+    def __post_init__(self) -> None:
+        if self.cta_id < 0:
+            raise ValueError("cta_id must be non-negative")
+        if self.num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+
+    def num_warps(self, threads_per_warp: int = 32) -> int:
+        """Number of warps needed to run this CTA."""
+        if threads_per_warp <= 0:
+            raise ValueError("threads_per_warp must be positive")
+        return math.ceil(self.num_threads / threads_per_warp)
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel launch: a grid of identical thread blocks.
+
+    Attributes:
+        name: Kernel name (usually the application name).
+        grid_size: Number of CTAs in the grid.
+        cta_threads: Threads per CTA.
+        is_helper: True for Morpheus's extended LLC kernel, which is not part
+            of the application and is excluded from application IPC.
+    """
+
+    name: str
+    grid_size: int
+    cta_threads: int = 256
+    is_helper: bool = False
+
+    def __post_init__(self) -> None:
+        if self.grid_size <= 0:
+            raise ValueError("grid_size must be positive")
+        if self.cta_threads <= 0:
+            raise ValueError("cta_threads must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        """Total number of threads launched."""
+        return self.grid_size * self.cta_threads
+
+    def thread_blocks(self) -> List[ThreadBlock]:
+        """Materialize the grid as a list of CTAs."""
+        return [ThreadBlock(cta_id=i, num_threads=self.cta_threads) for i in range(self.grid_size)]
+
+    def warps_per_cta(self, threads_per_warp: int = 32) -> int:
+        """Warps per CTA at the given warp width."""
+        return ThreadBlock(0, self.cta_threads).num_warps(threads_per_warp)
+
+    def total_warps(self, threads_per_warp: int = 32) -> int:
+        """Total warps across the whole grid."""
+        return self.grid_size * self.warps_per_cta(threads_per_warp)

@@ -1,0 +1,152 @@
+"""Warp and CTA scheduling.
+
+Two schedulers are modelled:
+
+* :class:`TwoLevelWarpScheduler` — the baseline warp scheduler (Table 1 cites
+  the two-level scheduler of Narasiman et al. / Gebhart et al.): warps are
+  split into an *active* set that is considered for issue every cycle and a
+  *pending* set; warps move between sets when they block on or return from
+  long-latency memory operations.
+* :class:`CTAScheduler` — a simple round-robin CTA-to-SM assigner that fills
+  compute-mode SMs up to their warp capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.gpu.kernel import KernelLaunch, ThreadBlock
+from repro.gpu.warp import Warp, WarpState
+
+
+class TwoLevelWarpScheduler:
+    """Two-level round-robin warp scheduler.
+
+    Args:
+        warps: All warps resident on the SM.
+        active_set_size: Maximum number of warps in the active (level-one) set.
+    """
+
+    def __init__(self, warps: Sequence[Warp], active_set_size: int = 8) -> None:
+        if active_set_size <= 0:
+            raise ValueError("active_set_size must be positive")
+        self.active_set_size = active_set_size
+        self._active: Deque[Warp] = deque()
+        self._pending: Deque[Warp] = deque(warps)
+        self._refill_active()
+
+    def _refill_active(self) -> None:
+        while len(self._active) < self.active_set_size and self._pending:
+            candidate = self._pending.popleft()
+            if candidate.is_finished:
+                continue
+            self._active.append(candidate)
+
+    @property
+    def active_warps(self) -> List[Warp]:
+        """Warps currently in the active set (issue candidates)."""
+        return list(self._active)
+
+    @property
+    def pending_warps(self) -> List[Warp]:
+        """Warps currently in the pending set."""
+        return list(self._pending)
+
+    def select_warp(self, now_cycle: float = 0.0) -> Optional[Warp]:
+        """Pick the next ready warp to issue, rotating the active set.
+
+        Warps whose outstanding memory request has completed (``wakeup_cycle``
+        reached) are woken before selection.  Returns ``None`` when no warp is
+        ready this cycle.
+        """
+        self._wake_ready(now_cycle)
+        for _ in range(len(self._active)):
+            warp = self._active[0]
+            self._active.rotate(-1)
+            if warp.is_finished:
+                self._demote(warp)
+                continue
+            if warp.is_ready:
+                return warp
+            if warp.state == WarpState.WAITING_MEMORY:
+                self._demote(warp)
+        return None
+
+    def _wake_ready(self, now_cycle: float) -> None:
+        for warp in list(self._pending):
+            if warp.state == WarpState.WAITING_MEMORY and warp.wakeup_cycle <= now_cycle:
+                if warp.pending_request_id is not None:
+                    warp.complete_memory_request(warp.pending_request_id)
+                else:
+                    warp.state = WarpState.READY
+        self._refill_active()
+
+    def _demote(self, warp: Warp) -> None:
+        try:
+            self._active.remove(warp)
+        except ValueError:
+            return
+        if not warp.is_finished:
+            self._pending.append(warp)
+        self._refill_active()
+
+    def all_finished(self) -> bool:
+        """True when every scheduled warp has retired."""
+        return all(w.is_finished for w in list(self._active) + list(self._pending))
+
+
+@dataclass
+class CTAAssignment:
+    """Record of one CTA placed on one SM."""
+
+    cta: ThreadBlock
+    sm_id: int
+
+
+class CTAScheduler:
+    """Round-robin CTA-to-SM assignment over the compute-mode SMs."""
+
+    def __init__(self, compute_sm_ids: Sequence[int], warps_per_sm: int = 48) -> None:
+        if not compute_sm_ids:
+            raise ValueError("at least one compute-mode SM is required")
+        if warps_per_sm <= 0:
+            raise ValueError("warps_per_sm must be positive")
+        self.compute_sm_ids = list(compute_sm_ids)
+        self.warps_per_sm = warps_per_sm
+        self._occupancy: Dict[int, int] = {sm_id: 0 for sm_id in self.compute_sm_ids}
+        self._next = 0
+
+    def assign(self, kernel: KernelLaunch, threads_per_warp: int = 32) -> List[CTAAssignment]:
+        """Assign as many CTAs of ``kernel`` as fit concurrently.
+
+        Returns the list of assignments of the first wave.  (Subsequent waves
+        reuse the same SMs once earlier CTAs drain; the simulator models the
+        steady state so only the first wave's shape matters.)
+        """
+        assignments: List[CTAAssignment] = []
+        warps_needed = kernel.warps_per_cta(threads_per_warp)
+        for cta in kernel.thread_blocks():
+            placed = False
+            for _ in range(len(self.compute_sm_ids)):
+                sm_id = self.compute_sm_ids[self._next % len(self.compute_sm_ids)]
+                self._next += 1
+                if self._occupancy[sm_id] + warps_needed <= self.warps_per_sm:
+                    self._occupancy[sm_id] += warps_needed
+                    assignments.append(CTAAssignment(cta=cta, sm_id=sm_id))
+                    placed = True
+                    break
+            if not placed:
+                break
+        return assignments
+
+    def occupancy(self) -> Dict[int, int]:
+        """Warps resident per SM."""
+        return dict(self._occupancy)
+
+    def release(self, sm_id: int, warps: int) -> None:
+        """Return ``warps`` of capacity to ``sm_id`` when a CTA drains."""
+        if sm_id not in self._occupancy:
+            raise ValueError(f"unknown SM {sm_id}")
+        self._occupancy[sm_id] = max(0, self._occupancy[sm_id] - warps)

@@ -1,0 +1,145 @@
+"""Streaming multiprocessor (SM) model.
+
+Each SM owns a private L1 data cache (unified with shared memory on Ampere),
+a register file and a set of warps.  In Morpheus an SM is either in *compute
+mode* (it executes application threads normally) or *cache mode* (it runs the
+extended LLC kernel, lending its on-chip memories to the extended LLC; see
+:mod:`repro.core.extended_llc`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.warp import Warp
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.mshr import MSHRFile
+from repro.memory.request import MemoryRequest
+
+
+class CoreMode(enum.Enum):
+    """Execution mode of an SM in a Morpheus-enabled GPU."""
+
+    COMPUTE = "compute"
+    CACHE = "cache"
+
+
+@dataclass
+class SMStats:
+    """Per-SM execution statistics."""
+
+    instructions: int = 0
+    memory_requests: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    active_cycles: float = 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 hit rate over this SM's accesses."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+
+class StreamingMultiprocessor:
+    """One GPU core (SM).
+
+    Args:
+        sm_id: Index of the SM in the GPU.
+        config: GPU configuration providing L1 size, warp count, etc.
+        mode: Initial execution mode.
+    """
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        mode: CoreMode = CoreMode.COMPUTE,
+    ) -> None:
+        if sm_id < 0:
+            raise ValueError("sm_id must be non-negative")
+        self.sm_id = sm_id
+        self.config = config
+        self.mode = mode
+        l1_bytes = config.l1_cache_bytes_per_sm
+        # Keep the L1 a clean multiple of block * ways.
+        granule = config.block_size * 4
+        l1_bytes = max(granule, (l1_bytes // granule) * granule)
+        self.l1 = SetAssociativeCache(
+            capacity_bytes=l1_bytes,
+            block_size=config.block_size,
+            associativity=4,
+            name=f"l1-sm{sm_id}",
+        )
+        self.l1_mshrs = MSHRFile(num_entries=32)
+        self.warps: List[Warp] = [Warp(warp_id=i) for i in range(config.warps_per_sm)]
+        self.stats = SMStats()
+
+    # -- mode management ----------------------------------------------------
+
+    @property
+    def is_compute_mode(self) -> bool:
+        """True when the SM executes application threads."""
+        return self.mode == CoreMode.COMPUTE
+
+    @property
+    def is_cache_mode(self) -> bool:
+        """True when the SM runs the extended LLC kernel."""
+        return self.mode == CoreMode.CACHE
+
+    def set_mode(self, mode: CoreMode) -> None:
+        """Switch execution mode; switching flushes the private L1."""
+        if mode != self.mode:
+            self.l1.flush()
+            self.mode = mode
+
+    # -- execution ----------------------------------------------------------
+
+    def execute_instructions(self, count: int, cycles: float) -> None:
+        """Account ``count`` instructions retired over ``cycles`` on this SM."""
+        if count < 0 or cycles < 0:
+            raise ValueError("count and cycles must be non-negative")
+        self.stats.instructions += count
+        self.stats.active_cycles += cycles
+
+    def access_l1(self, request: MemoryRequest) -> Tuple[bool, Optional[int]]:
+        """Access the private L1 on behalf of a compute-mode warp.
+
+        Returns ``(hit, writeback_address)``; misses and dirty evictions must
+        be forwarded toward the LLC by the caller (the simulator).
+        """
+        if not self.is_compute_mode:
+            raise RuntimeError(
+                f"SM {self.sm_id} is in cache mode; application accesses must not reach its L1"
+            )
+        hit, writeback = self.l1.access(request.address, is_write=request.is_write)
+        self.stats.memory_requests += 1
+        if hit:
+            self.stats.l1_hits += 1
+        else:
+            self.stats.l1_misses += 1
+        return hit, writeback
+
+    # -- capacities exposed to the extended LLC kernel -----------------------
+
+    def register_file_bytes(self) -> int:
+        """Raw register file capacity of this SM."""
+        return self.config.register_file_bytes_per_sm
+
+    def unified_l1_shared_bytes(self) -> int:
+        """Unified L1/shared-memory capacity of this SM."""
+        return self.config.l1_shared_bytes_per_sm
+
+    def reset(self) -> None:
+        """Flush caches, reset warps and statistics."""
+        self.l1.flush()
+        self.l1.reset_stats()
+        self.l1_mshrs.reset()
+        self.warps = [Warp(warp_id=i) for i in range(self.config.warps_per_sm)]
+        self.stats = SMStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingMultiprocessor(sm_id={self.sm_id}, mode={self.mode.value})"

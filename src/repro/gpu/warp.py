@@ -1,0 +1,98 @@
+"""Warps: the SIMD execution granule of a GPU core.
+
+Threads within a warp execute in lock step.  The simulator does not model
+per-thread state; a warp is the unit of scheduling, of memory coalescing and
+— in cache-mode SMs — the unit that owns one extended LLC set (one warp per
+set, per §4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class WarpState(enum.Enum):
+    """Scheduling state of a warp."""
+
+    READY = "ready"
+    WAITING_MEMORY = "waiting_memory"
+    BARRIER = "barrier"
+    FINISHED = "finished"
+
+
+@dataclass
+class Warp:
+    """One warp of 32 threads.
+
+    Attributes:
+        warp_id: Index of the warp within its SM.
+        cta_id: Index of the thread block (CTA) the warp belongs to.
+        state: Current scheduling state.
+        instructions_executed: Dynamic instruction count attributed to this warp.
+        memory_requests_issued: Memory requests this warp has injected.
+        pending_request_id: The id of the outstanding memory request (if any);
+            a warp issues at most one outstanding extended-LLC request at a
+            time when acting as an extended-LLC-kernel warp.
+        wakeup_cycle: Cycle at which a memory-waiting warp becomes ready again.
+    """
+
+    warp_id: int
+    cta_id: int = 0
+    state: WarpState = WarpState.READY
+    instructions_executed: int = 0
+    memory_requests_issued: int = 0
+    pending_request_id: Optional[int] = None
+    wakeup_cycle: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.warp_id < 0:
+            raise ValueError("warp_id must be non-negative")
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether the warp can be issued this cycle."""
+        return self.state == WarpState.READY
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the warp has retired all of its instructions."""
+        return self.state == WarpState.FINISHED
+
+    def issue_memory_request(self, request_id: int, wakeup_cycle: float) -> None:
+        """Mark the warp as blocked on an outstanding memory request."""
+        if self.state == WarpState.FINISHED:
+            raise RuntimeError("cannot issue from a finished warp")
+        if self.pending_request_id is not None:
+            raise RuntimeError(
+                f"warp {self.warp_id} already has outstanding request {self.pending_request_id}"
+            )
+        self.pending_request_id = request_id
+        self.state = WarpState.WAITING_MEMORY
+        self.wakeup_cycle = wakeup_cycle
+        self.memory_requests_issued += 1
+
+    def complete_memory_request(self, request_id: int) -> None:
+        """Unblock the warp when its outstanding request completes."""
+        if self.pending_request_id != request_id:
+            raise RuntimeError(
+                f"warp {self.warp_id} completing unknown request {request_id} "
+                f"(pending: {self.pending_request_id})"
+            )
+        self.pending_request_id = None
+        if self.state == WarpState.WAITING_MEMORY:
+            self.state = WarpState.READY
+
+    def execute_instructions(self, count: int) -> None:
+        """Retire ``count`` instructions on behalf of this warp."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.state == WarpState.FINISHED:
+            raise RuntimeError("cannot execute on a finished warp")
+        self.instructions_executed += count
+
+    def finish(self) -> None:
+        """Mark the warp as having completed its work."""
+        self.state = WarpState.FINISHED
+        self.pending_request_id = None

@@ -1,0 +1,92 @@
+"""Crossbar building blocks used by the interconnect model.
+
+GPUs connect SMs to LLC/memory partitions through a crossbar-like network.
+The Morpheus evaluation cares about three interconnect effects:
+
+* the baseline one-way traversal latency between an SM and an LLC partition,
+* the *extra* round trip that extended-LLC requests pay (Morpheus controller
+  -> cache-mode SM -> Morpheus controller, Figure 5), and
+* congestion: Morpheus roughly doubles NoC load (§7.4), inflating average
+  latency by a few percent without saturating the network.
+
+:class:`CrossbarLink` models one direction of one port with a bandwidth
+account, and :class:`CrossbarSwitch` groups the links of a port pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CrossbarLink:
+    """A single directed link with finite bandwidth.
+
+    Args:
+        bytes_per_cycle: Peak payload bandwidth of the link.
+        base_latency_cycles: Unloaded traversal latency.
+    """
+
+    bytes_per_cycle: float
+    base_latency_cycles: float
+    busy_until_cycle: float = 0.0
+    bytes_transferred: int = 0
+    flits_transferred: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if self.base_latency_cycles < 0:
+            raise ValueError("base_latency_cycles must be non-negative")
+
+    def transfer(self, size_bytes: int, now_cycle: float) -> float:
+        """Send ``size_bytes`` over the link starting no earlier than ``now_cycle``.
+
+        Returns the total latency (queueing + traversal + serialization).
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        start = max(now_cycle, self.busy_until_cycle)
+        queue_delay = start - now_cycle
+        serialization = size_bytes / self.bytes_per_cycle
+        self.busy_until_cycle = start + serialization
+        self.bytes_transferred += size_bytes
+        self.flits_transferred += 1
+        return queue_delay + self.base_latency_cycles + serialization
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of link bandwidth consumed over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.bytes_transferred / (self.bytes_per_cycle * elapsed_cycles))
+
+    def reset(self) -> None:
+        """Clear link occupancy and counters."""
+        self.busy_until_cycle = 0.0
+        self.bytes_transferred = 0
+        self.flits_transferred = 0
+
+
+class CrossbarSwitch:
+    """A pair of request/response links attached to one network endpoint."""
+
+    def __init__(self, bytes_per_cycle: float, base_latency_cycles: float) -> None:
+        self.request_link = CrossbarLink(bytes_per_cycle, base_latency_cycles)
+        self.response_link = CrossbarLink(bytes_per_cycle, base_latency_cycles)
+
+    def send_request(self, size_bytes: int, now_cycle: float) -> float:
+        """Forward a request flit; returns latency in cycles."""
+        return self.request_link.transfer(size_bytes, now_cycle)
+
+    def send_response(self, size_bytes: int, now_cycle: float) -> float:
+        """Forward a response flit; returns latency in cycles."""
+        return self.response_link.transfer(size_bytes, now_cycle)
+
+    def total_bytes(self) -> int:
+        """Bytes moved in both directions."""
+        return self.request_link.bytes_transferred + self.response_link.bytes_transferred
+
+    def reset(self) -> None:
+        """Reset both directions."""
+        self.request_link.reset()
+        self.response_link.reset()

@@ -1,0 +1,13 @@
+"""Cycle-approximate, trace-driven GPU simulation."""
+
+from repro.sim.engine import HierarchyCounters, MemoryHierarchyEngine
+from repro.sim.simulator import GPUSimulator, SimulationConfig
+from repro.sim.stats import SimulationStats
+
+__all__ = [
+    "GPUSimulator",
+    "HierarchyCounters",
+    "MemoryHierarchyEngine",
+    "SimulationConfig",
+    "SimulationStats",
+]

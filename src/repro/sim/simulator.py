@@ -1,0 +1,300 @@
+"""The top-level GPU simulator.
+
+:class:`GPUSimulator` combines two layers:
+
+1. A **functional memory-hierarchy replay** — the
+   :class:`~repro.sim.engine.MemoryHierarchyEngine` drives an application's
+   LLC-level trace through the real cache, controller, interconnect and DRAM
+   structures to measure hit rates, routing fractions, latency and traffic.
+2. A **bottleneck (roofline-style) performance model** — IPC is the minimum
+   of the compute limit, the DRAM bandwidth limit, the conventional/extended
+   LLC bandwidth limits, the interconnect limit and the latency/MLP limit.
+   This reproduces the behaviours the paper's evaluation rests on: memory-
+   bound applications saturate when the DRAM bandwidth limit binds, thrash
+   when growing per-SM footprints push the LLC hit rate down, and speed up
+   when a larger (conventional or extended) LLC converts DRAM traffic into
+   on-chip hits.
+
+Execution time, energy and performance/watt follow from the modelled IPC and
+the per-level traffic extrapolated to the application's full instruction
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.config import MorpheusConfig
+from repro.core.extended_llc import Compressibility
+from repro.energy.model import EnergyModel
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.sim.engine import HierarchyCounters, MemoryHierarchyEngine
+from repro.sim.stats import SimulationStats
+from repro.workloads.applications import ApplicationProfile
+from repro.workloads.generator import TraceGenerator
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulation run.
+
+    Attributes:
+        gpu: GPU hardware configuration.
+        morpheus: Morpheus configuration, or ``None`` for a conventional GPU.
+        num_compute_sms: SMs executing application threads.
+        num_cache_sms: SMs in cache mode (Morpheus only).
+        power_gate_unused: Power-gate SMs that are neither computing nor
+            caching (IBL-style); the plain baseline keeps them active.
+        capacity_scale: Downscaling factor applied to cache capacities and
+            workload footprints for the functional replay.
+        trace_accesses: LLC-level accesses replayed (after warm-up).
+        warmup_accesses: LLC-level accesses replayed to warm the caches
+            before measurement starts.
+        peak_warp_ipc_per_sm: Peak warp instructions per cycle per SM.
+        mlp_per_sm: Outstanding LLC-level requests one SM can sustain.
+        system_name: Label recorded in the result (e.g. ``"Morpheus-ALL"``).
+        seed: Trace generation seed.
+    """
+
+    gpu: GPUConfig = RTX3080_CONFIG
+    morpheus: Optional[MorpheusConfig] = None
+    num_compute_sms: int = 68
+    num_cache_sms: int = 0
+    power_gate_unused: bool = False
+    capacity_scale: float = 1.0 / 16.0
+    trace_accesses: int = 24_000
+    warmup_accesses: int = 8_000
+    peak_warp_ipc_per_sm: float = 4.0
+    mlp_per_sm: float = 320.0
+    system_name: str = "BL"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_compute_sms <= 0:
+            raise ValueError("num_compute_sms must be positive")
+        if self.num_cache_sms < 0:
+            raise ValueError("num_cache_sms must be non-negative")
+        if self.num_compute_sms + self.num_cache_sms > self.gpu.num_sms:
+            raise ValueError(
+                "compute + cache SMs exceed the GPU's SM count "
+                f"({self.num_compute_sms} + {self.num_cache_sms} > {self.gpu.num_sms})"
+            )
+        if self.morpheus is None and self.num_cache_sms:
+            raise ValueError("cache-mode SMs require a Morpheus configuration")
+        if self.trace_accesses <= 0:
+            raise ValueError("trace_accesses must be positive")
+        if self.warmup_accesses < 0:
+            raise ValueError("warmup_accesses must be non-negative")
+
+
+class GPUSimulator:
+    """Simulates one application on one system configuration."""
+
+    def __init__(self, config: SimulationConfig, energy_model: EnergyModel | None = None) -> None:
+        self.config = config
+        self.energy_model = energy_model or EnergyModel()
+
+    # -- internal helpers ------------------------------------------------------------
+
+    def _build_engine(self, profile: ApplicationProfile) -> MemoryHierarchyEngine:
+        cfg = self.config
+        cache_sm_ids = list(
+            range(cfg.num_compute_sms, cfg.num_compute_sms + cfg.num_cache_sms)
+        )
+        compressibility = Compressibility(
+            high_fraction=profile.compressible_high,
+            low_fraction=profile.compressible_low,
+        )
+        return MemoryHierarchyEngine(
+            gpu=cfg.gpu,
+            morpheus=cfg.morpheus if cfg.num_cache_sms > 0 else None,
+            cache_sm_ids=cache_sm_ids,
+            compressibility=compressibility,
+            capacity_scale=cfg.capacity_scale,
+        )
+
+    def _l1_hit_rate(self, profile: ApplicationProfile) -> float:
+        return profile.l1_hit_rate_for_capacity(self.config.gpu.l1_shared_bytes_per_sm)
+
+    # -- the run -------------------------------------------------------------------------
+
+    def run(self, profile: ApplicationProfile) -> SimulationStats:
+        """Simulate ``profile`` on the configured system and return statistics."""
+        cfg = self.config
+        gpu = cfg.gpu
+
+        engine = self._build_engine(profile)
+        generator = TraceGenerator(
+            profile,
+            num_compute_sms=cfg.num_compute_sms,
+            scale=cfg.capacity_scale,
+            seed=cfg.seed,
+        )
+        if cfg.warmup_accesses:
+            warmup = generator.generate(cfg.warmup_accesses)
+            engine.run(warmup)
+            engine.reset_counters()
+        trace = generator.generate(cfg.trace_accesses)
+        counters = engine.run(trace)
+
+        return self._build_stats(profile, engine, counters)
+
+    # -- the bottleneck performance model -----------------------------------------------------
+
+    def _build_stats(
+        self,
+        profile: ApplicationProfile,
+        engine: MemoryHierarchyEngine,
+        counters: HierarchyCounters,
+    ) -> SimulationStats:
+        cfg = self.config
+        gpu = cfg.gpu
+
+        l1_hit = self._l1_hit_rate(profile)
+        apki_l1 = profile.l1_apki
+        apki_llc = profile.llc_apki(l1_hit)
+        block = gpu.block_size
+
+        accesses = max(1, counters.llc_accesses)
+        dram_demand_fraction = counters.dram_access_fraction
+        writebacks_per_access = counters.writebacks / accesses
+        llc_mpki = apki_llc * (1.0 - counters.llc_hit_rate)
+        dram_apki = apki_llc * dram_demand_fraction
+
+        # Bytes moved per kilo-instruction at each level (measured per LLC
+        # access, scaled by the application's LLC access intensity).
+        conv_bytes_per_ki = counters.conventional_bytes / accesses * apki_llc
+        ext_bytes_per_ki = counters.extended_bytes / accesses * apki_llc
+        dram_bytes_per_ki = counters.dram_bytes / accesses * apki_llc
+        noc_bytes_per_ki = counters.noc_bytes / accesses * apki_llc
+        l1_bytes_per_ki = apki_l1 * block
+
+        # --- IPC limits -------------------------------------------------------------
+        limits: Dict[str, float] = {}
+        limits["compute"] = (
+            cfg.num_compute_sms * cfg.peak_warp_ipc_per_sm * profile.compute_efficiency
+        )
+
+        def bandwidth_limit(bytes_per_cycle: float, bytes_per_ki: float) -> float:
+            if bytes_per_ki <= 1e-9:
+                return float("inf")
+            return bytes_per_cycle / (bytes_per_ki / 1000.0)
+
+        dram_bpc = gpu.dram.bytes_per_cycle_per_channel * gpu.dram.num_channels
+        limits["dram_bandwidth"] = bandwidth_limit(dram_bpc, dram_bytes_per_ki)
+
+        llc_bpc = gpu.llc.bytes_per_cycle_per_partition * gpu.llc.num_partitions
+        limits["llc_bandwidth"] = bandwidth_limit(llc_bpc, conv_bytes_per_ki)
+
+        if cfg.num_cache_sms > 0 and cfg.morpheus is not None:
+            ext_bpc = (
+                cfg.morpheus.timing.per_sm_extended_bandwidth_gbps
+                / gpu.core_clock_ghz
+                * cfg.num_cache_sms
+            )
+            limits["extended_llc_bandwidth"] = bandwidth_limit(ext_bpc, ext_bytes_per_ki)
+
+        # The measured NoC bytes cover both directions while the per-port
+        # bandwidth is per direction, so the aggregate capacity is doubled.
+        noc_bpc = 2.0 * gpu.interconnect.bytes_per_cycle_per_port * gpu.interconnect.num_partitions
+        limits["noc_bandwidth"] = bandwidth_limit(noc_bpc, noc_bytes_per_ki)
+
+        avg_latency = max(1.0, counters.average_latency_cycles)
+        if apki_llc > 1e-9:
+            limits["latency"] = (
+                cfg.num_compute_sms * cfg.mlp_per_sm / avg_latency * (1000.0 / apki_llc)
+            )
+        else:
+            limits["latency"] = float("inf")
+
+        ipc = min(limits.values())
+        bottleneck = min(limits, key=limits.get)
+
+        instructions = float(profile.instructions)
+        execution_cycles = instructions / max(ipc, 1e-9)
+
+        # --- energy -----------------------------------------------------------------
+        kilo_instructions = instructions / 1000.0
+        num_gated = 0
+        num_active_extra = gpu.num_sms - cfg.num_compute_sms - cfg.num_cache_sms
+        if cfg.power_gate_unused:
+            num_gated = num_active_extra
+            num_active_extra = 0
+        breakdown = self.energy_model.compute(
+            execution_cycles=execution_cycles,
+            instructions=instructions,
+            dram_bytes=dram_bytes_per_ki * kilo_instructions,
+            llc_bytes=conv_bytes_per_ki * kilo_instructions,
+            extended_llc_bytes=ext_bytes_per_ki * kilo_instructions,
+            l1_bytes=l1_bytes_per_ki * kilo_instructions,
+            noc_bytes=noc_bytes_per_ki * kilo_instructions,
+            num_compute_sms=cfg.num_compute_sms + num_active_extra,
+            num_cache_sms=cfg.num_cache_sms,
+            num_gated_sms=num_gated,
+            morpheus_enabled=cfg.morpheus is not None and cfg.num_cache_sms > 0,
+        )
+        perf_per_watt = self.energy_model.performance_per_watt(ipc, breakdown, execution_cycles)
+        avg_power = self.energy_model.average_power_watts(breakdown, execution_cycles)
+
+        predictor = engine.predictor_stats() if engine.controllers else None
+
+        # Achieved throughputs at the modelled IPC (GB/s).
+        seconds_per_ki = (1000.0 / max(ipc, 1e-9)) / (gpu.core_clock_ghz * 1e9)
+        def throughput_gbps(bytes_per_ki: float) -> float:
+            if seconds_per_ki <= 0:
+                return 0.0
+            return bytes_per_ki / seconds_per_ki / 1e9
+
+        stats = SimulationStats(
+            application=profile.name,
+            system=cfg.system_name,
+            num_compute_sms=cfg.num_compute_sms,
+            num_cache_sms=cfg.num_cache_sms,
+            num_gated_sms=num_gated,
+            ipc=ipc,
+            execution_cycles=execution_cycles,
+            instructions=instructions,
+            l1_hit_rate=l1_hit,
+            llc_hit_rate=counters.llc_hit_rate,
+            conventional_llc_hit_rate=counters.conventional_hit_rate,
+            extended_llc_hit_rate=counters.extended_hit_rate,
+            extended_fraction=counters.extended_fraction,
+            llc_mpki=llc_mpki,
+            llc_apki=apki_llc,
+            dram_accesses_per_ki=dram_apki,
+            dram_bytes=dram_bytes_per_ki * kilo_instructions,
+            dram_bandwidth_utilization=min(
+                1.0, throughput_gbps(dram_bytes_per_ki) / max(1e-9, gpu.dram.total_bandwidth_gbps)
+            ),
+            llc_throughput_gbps=throughput_gbps(conv_bytes_per_ki + ext_bytes_per_ki),
+            extended_llc_throughput_gbps=throughput_gbps(ext_bytes_per_ki),
+            noc_bytes=noc_bytes_per_ki * kilo_instructions,
+            noc_injection_bytes_per_cycle=noc_bytes_per_ki / 1000.0 * ipc,
+            noc_average_latency_cycles=engine.network.stats.average_latency_cycles,
+            average_memory_latency_cycles=avg_latency,
+            bottleneck=bottleneck,
+            limits=limits,
+            predictor_false_positive_rate=(
+                predictor.false_positive_rate if predictor is not None else 0.0
+            ),
+            predictor_false_negatives=(
+                predictor.false_negatives if predictor is not None else 0
+            ),
+            predicted_miss_fraction=(
+                counters.predicted_misses / accesses if accesses else 0.0
+            ),
+            energy=breakdown,
+            average_power_watts=avg_power,
+            performance_per_watt=perf_per_watt,
+        )
+        return stats
+
+
+def simulate(
+    profile: ApplicationProfile,
+    config: SimulationConfig,
+    energy_model: EnergyModel | None = None,
+) -> SimulationStats:
+    """Convenience wrapper: simulate ``profile`` under ``config``."""
+    return GPUSimulator(config, energy_model=energy_model).run(profile)

@@ -1,0 +1,32 @@
+"""The nine evaluated systems (§6) and helpers to run them."""
+
+from repro.systems.baseline import (
+    BaselineSystem,
+    FrequencyBoostSystem,
+    IBL4xLLCSystem,
+    ImprovedBaselineSystem,
+    UnifiedSMMemSystem,
+)
+from repro.systems.morpheus_system import MorpheusSystem, MorpheusVariant
+from repro.systems.registry import (
+    EVALUATED_SYSTEMS,
+    EvaluatedSystem,
+    evaluate_application,
+    evaluate_all_systems,
+    get_system,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "EVALUATED_SYSTEMS",
+    "EvaluatedSystem",
+    "FrequencyBoostSystem",
+    "IBL4xLLCSystem",
+    "ImprovedBaselineSystem",
+    "MorpheusSystem",
+    "MorpheusVariant",
+    "UnifiedSMMemSystem",
+    "evaluate_all_systems",
+    "evaluate_application",
+    "get_system",
+]

@@ -1,0 +1,56 @@
+"""Simulation fidelity presets.
+
+Every evaluated system runs the same trace-driven model; fidelity presets
+control how long the replayed traces are and how aggressively capacities are
+downscaled.  ``FAST`` keeps unit/integration tests quick, ``STANDARD`` is
+used by the benchmark harness that regenerates the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Trace sizing knobs shared by all evaluated systems.
+
+    Attributes:
+        capacity_scale: Factor applied to cache capacities and footprints.
+        trace_accesses: Measured LLC-level accesses per simulation.
+        warmup_accesses: Warm-up accesses replayed before measurement.
+        search_trace_accesses: Accesses used during best-SM-count searches
+            (smaller, since only the argmax matters).
+        search_warmup_accesses: Warm-up accesses used during searches.
+    """
+
+    capacity_scale: float = 1.0 / 16.0
+    trace_accesses: int = 20_000
+    warmup_accesses: int = 7_000
+    search_trace_accesses: int = 8_000
+    search_warmup_accesses: int = 3_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_scale <= 1.0:
+            raise ValueError("capacity_scale must be in (0, 1]")
+        for name in (
+            "trace_accesses",
+            "warmup_accesses",
+            "search_trace_accesses",
+            "search_warmup_accesses",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+STANDARD_FIDELITY = Fidelity()
+"""Default fidelity used by the benchmark harness."""
+
+FAST_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 32.0,
+    trace_accesses=6_000,
+    warmup_accesses=2_000,
+    search_trace_accesses=3_000,
+    search_warmup_accesses=1_000,
+)
+"""Reduced fidelity for unit and integration tests."""

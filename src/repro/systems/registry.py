@@ -1,0 +1,125 @@
+"""Registry of the nine evaluated systems and cached evaluation helpers.
+
+Running a full Figure-12-style comparison means simulating 17 applications on
+nine systems, several of which search per-application operating points.  The
+registry caches :class:`~repro.sim.stats.SimulationStats` per
+``(system, application, fidelity)`` within the process so figures and tables
+that share underlying runs (e.g. Fig. 12 top and bottom) pay for them once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.sim.stats import SimulationStats
+from repro.systems.baseline import (
+    BaselineSystem,
+    EvaluatedSystem,
+    FrequencyBoostSystem,
+    IBL4xLLCSystem,
+    ImprovedBaselineSystem,
+    UnifiedSMMemSystem,
+)
+from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
+from repro.systems.morpheus_system import MorpheusSystem, MorpheusVariant
+from repro.workloads.applications import APPLICATIONS, ApplicationProfile, get_application
+
+#: Names of the nine systems of Figure 12, in presentation order.
+EVALUATED_SYSTEMS: Tuple[str, ...] = (
+    "BL",
+    "IBL",
+    "IBL-4X-LLC",
+    "Unified-SM-Mem",
+    "Frequency-Boost",
+    "Morpheus-Basic",
+    "Morpheus-Compression",
+    "Morpheus-Indirect-MOV",
+    "Morpheus-ALL",
+)
+
+_SYSTEM_CACHE: Dict[Tuple[str, float, int], EvaluatedSystem] = {}
+_RESULT_CACHE: Dict[Tuple[str, str, float, int], SimulationStats] = {}
+
+
+def _fidelity_key(fidelity: Fidelity) -> Tuple[float, int]:
+    return (fidelity.capacity_scale, fidelity.trace_accesses)
+
+
+def get_system(
+    name: str,
+    gpu: GPUConfig = RTX3080_CONFIG,
+    fidelity: Fidelity = STANDARD_FIDELITY,
+) -> EvaluatedSystem:
+    """Construct (or fetch a cached) evaluated system by its Figure-12 name."""
+    key = (name, *_fidelity_key(fidelity))
+    cached = _SYSTEM_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    if name == "BL":
+        system: EvaluatedSystem = BaselineSystem(gpu, fidelity)
+    elif name == "IBL":
+        system = ImprovedBaselineSystem(gpu, fidelity)
+    elif name == "IBL-4X-LLC":
+        system = IBL4xLLCSystem(gpu, fidelity)
+    elif name == "IBL-2X-LLC":
+        system = IBL4xLLCSystem(gpu, fidelity, scale_factor=2.0)
+        system.name = "IBL-2X-LLC"
+    elif name == "Unified-SM-Mem":
+        system = UnifiedSMMemSystem(gpu, fidelity)
+    elif name == "Frequency-Boost":
+        system = FrequencyBoostSystem(gpu, fidelity)
+    elif name == "Morpheus-Basic":
+        system = MorpheusSystem(MorpheusVariant.BASIC, gpu, fidelity)
+    elif name == "Morpheus-Compression":
+        system = MorpheusSystem(MorpheusVariant.COMPRESSION, gpu, fidelity)
+    elif name == "Morpheus-Indirect-MOV":
+        system = MorpheusSystem(MorpheusVariant.INDIRECT_MOV, gpu, fidelity)
+    elif name == "Morpheus-ALL":
+        system = MorpheusSystem(MorpheusVariant.ALL, gpu, fidelity)
+    elif name.startswith("Morpheus-Basic(") and name.endswith(")"):
+        predictor = name[len("Morpheus-Basic("):-1]
+        system = MorpheusSystem(MorpheusVariant.BASIC, gpu, fidelity, predictor=predictor)
+    else:
+        valid = ", ".join(EVALUATED_SYSTEMS)
+        raise ValueError(f"unknown system {name!r}; expected one of: {valid}")
+
+    _SYSTEM_CACHE[key] = system
+    return system
+
+
+def evaluate_application(
+    system_name: str,
+    application: str | ApplicationProfile,
+    gpu: GPUConfig = RTX3080_CONFIG,
+    fidelity: Fidelity = STANDARD_FIDELITY,
+    use_cache: bool = True,
+) -> SimulationStats:
+    """Simulate one application on one named system (cached per process)."""
+    profile = application if isinstance(application, ApplicationProfile) else get_application(application)
+    key = (system_name, profile.name, *_fidelity_key(fidelity))
+    if use_cache and key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    system = get_system(system_name, gpu, fidelity)
+    stats = system.evaluate(profile)
+    _RESULT_CACHE[key] = stats
+    return stats
+
+
+def evaluate_all_systems(
+    application: str | ApplicationProfile,
+    systems: Sequence[str] = EVALUATED_SYSTEMS,
+    gpu: GPUConfig = RTX3080_CONFIG,
+    fidelity: Fidelity = STANDARD_FIDELITY,
+) -> Dict[str, SimulationStats]:
+    """Simulate one application across many systems."""
+    return {
+        name: evaluate_application(name, application, gpu, fidelity) for name in systems
+    }
+
+
+def clear_caches() -> None:
+    """Drop all cached systems and results (used by tests)."""
+    _SYSTEM_CACHE.clear()
+    _RESULT_CACHE.clear()

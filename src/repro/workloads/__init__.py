@@ -1,0 +1,33 @@
+"""Workload models: the paper's 17 applications and synthetic trace generators."""
+
+from repro.workloads.applications import (
+    APPLICATIONS,
+    COMPUTE_BOUND_APPS,
+    MEMORY_BOUND_APPS,
+    ApplicationProfile,
+    WorkloadClass,
+    get_application,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.synthetic import (
+    hot_cold_trace,
+    strided_trace,
+    uniform_random_trace,
+    zipfian_trace,
+)
+from repro.workloads.trace import MemoryTrace
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationProfile",
+    "COMPUTE_BOUND_APPS",
+    "MEMORY_BOUND_APPS",
+    "MemoryTrace",
+    "TraceGenerator",
+    "WorkloadClass",
+    "get_application",
+    "hot_cold_trace",
+    "strided_trace",
+    "uniform_random_trace",
+    "zipfian_trace",
+]

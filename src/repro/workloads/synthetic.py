@@ -1,0 +1,144 @@
+"""Synthetic trace builders.
+
+These helpers produce simple, well-understood access patterns used by unit
+tests, examples and the characterization microbenchmarks: uniform random
+accesses, sequential/strided streams, hot/cold mixtures and Zipfian-skewed
+accesses.  The application models in :mod:`repro.workloads.generator` compose
+the same primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.workloads.trace import MemoryTrace, TraceEntry
+
+BLOCK = 128
+
+
+def uniform_random_trace(
+    num_accesses: int,
+    footprint_bytes: int,
+    write_fraction: float = 0.2,
+    seed: int = 0,
+    block_size: int = BLOCK,
+    name: str = "uniform",
+) -> MemoryTrace:
+    """Uniformly random block accesses over a fixed footprint."""
+    if num_accesses < 0:
+        raise ValueError("num_accesses must be non-negative")
+    if footprint_bytes <= 0:
+        raise ValueError("footprint_bytes must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    num_blocks = max(1, footprint_bytes // block_size)
+    entries = [
+        TraceEntry(
+            address=rng.randrange(num_blocks) * block_size,
+            is_write=rng.random() < write_fraction,
+        )
+        for _ in range(num_accesses)
+    ]
+    return MemoryTrace(entries, name=name)
+
+
+def strided_trace(
+    num_accesses: int,
+    footprint_bytes: int,
+    stride_blocks: int = 1,
+    write_fraction: float = 0.0,
+    seed: int = 0,
+    block_size: int = BLOCK,
+    name: str = "strided",
+) -> MemoryTrace:
+    """A streaming access pattern that walks the footprint with a fixed stride."""
+    if stride_blocks <= 0:
+        raise ValueError("stride_blocks must be positive")
+    rng = random.Random(seed)
+    num_blocks = max(1, footprint_bytes // block_size)
+    entries = []
+    position = 0
+    for _ in range(num_accesses):
+        entries.append(
+            TraceEntry(
+                address=(position % num_blocks) * block_size,
+                is_write=rng.random() < write_fraction,
+            )
+        )
+        position += stride_blocks
+    return MemoryTrace(entries, name=name)
+
+
+def hot_cold_trace(
+    num_accesses: int,
+    footprint_bytes: int,
+    hot_fraction: float = 0.2,
+    hot_access_probability: float = 0.8,
+    write_fraction: float = 0.2,
+    seed: int = 0,
+    block_size: int = BLOCK,
+    name: str = "hot-cold",
+) -> MemoryTrace:
+    """A classic hot/cold mixture: a small hot region absorbs most accesses."""
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_access_probability <= 1.0:
+        raise ValueError("hot_access_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    num_blocks = max(2, footprint_bytes // block_size)
+    hot_blocks = max(1, int(num_blocks * hot_fraction))
+    entries = []
+    for _ in range(num_accesses):
+        if rng.random() < hot_access_probability:
+            block = rng.randrange(hot_blocks)
+        else:
+            block = hot_blocks + rng.randrange(max(1, num_blocks - hot_blocks))
+        entries.append(
+            TraceEntry(address=block * block_size, is_write=rng.random() < write_fraction)
+        )
+    return MemoryTrace(entries, name=name)
+
+
+def zipfian_trace(
+    num_accesses: int,
+    footprint_bytes: int,
+    alpha: float = 0.9,
+    write_fraction: float = 0.2,
+    seed: int = 0,
+    block_size: int = BLOCK,
+    name: str = "zipf",
+) -> MemoryTrace:
+    """Zipfian-skewed block popularity (irregular graph-like access patterns)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = random.Random(seed)
+    num_blocks = max(1, footprint_bytes // block_size)
+    # Build the Zipf CDF once; cap the rank count to bound setup cost.
+    ranks = min(num_blocks, 4096)
+    weights = [1.0 / (rank ** alpha) for rank in range(1, ranks + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    entries = []
+    for _ in range(num_accesses):
+        draw = rng.random()
+        # Binary search over the CDF.
+        lo, hi = 0, ranks - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < draw:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Spread ranks over the whole footprint deterministically.
+        block = (lo * 2654435761) % num_blocks
+        entries.append(
+            TraceEntry(address=block * block_size, is_write=rng.random() < write_fraction)
+        )
+    return MemoryTrace(entries, name=name)

@@ -1,0 +1,103 @@
+"""Tests for the extended LLC kernel characterization (Figure 11)."""
+
+import pytest
+
+from repro.characterization.extended_llc_kernel import (
+    ExtendedLLCCharacterization,
+    WARP_COUNTS,
+    combined_configuration,
+)
+
+
+@pytest.fixture
+def model() -> ExtendedLLCCharacterization:
+    return ExtendedLLCCharacterization()
+
+
+class TestCapacity:
+    def test_register_file_peaks_at_eight_warps(self, model):
+        capacities = {w: model.capacity_bytes("register_file", w) for w in WARP_COUNTS}
+        assert max(capacities, key=capacities.get) == 8
+
+    def test_register_file_substantial_at_eight_warps(self, model):
+        assert model.capacity_bytes("register_file", 8) > 200 * 1024
+
+    def test_l1_and_shared_flat_with_warps(self, model):
+        for store in ("l1", "shared_memory"):
+            values = [model.capacity_bytes(store, w) for w in (8, 16, 32, 48)]
+            assert max(values) <= min(values) * 1.1
+
+    def test_unknown_store_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.capacity_bytes("texture", 8)
+
+
+class TestLatency:
+    def test_latency_at_least_300ns(self, model):
+        for store in ("register_file", "shared_memory", "l1"):
+            for warps in WARP_COUNTS:
+                assert model.latency_ns(store, warps) >= 290.0
+
+    def test_latency_grows_with_warps(self, model):
+        assert model.latency_ns("register_file", 48) > model.latency_ns("register_file", 8)
+
+    def test_register_file_fastest_store(self, model):
+        for warps in (8, 16, 32, 48):
+            rf = model.latency_ns("register_file", warps)
+            assert rf <= model.latency_ns("shared_memory", warps)
+            assert rf <= model.latency_ns("l1", warps)
+
+    def test_extended_latency_between_llc_and_dram(self, model):
+        # ~160 ns conventional LLC < extended LLC < ~600 ns DRAM (paper §5).
+        latency = model.latency_ns("register_file", 32)
+        assert 160.0 < latency < 600.0
+
+
+class TestBandwidth:
+    def test_bandwidth_grows_with_warps(self, model):
+        assert model.bandwidth_gbps("register_file", 48) > model.bandwidth_gbps("register_file", 1)
+
+    def test_noc_caps_bandwidth_below_40gbps(self, model):
+        assert model.bandwidth_gbps("register_file", 48) <= 40.0
+
+    def test_ideal_interconnect_matches_paper_ordering(self, model):
+        ideal = model.ideal_interconnect_bandwidths(48)
+        assert ideal["register_file"] > ideal["shared_memory"] > ideal["l1"]
+        assert ideal["register_file"] == pytest.approx(290.0, rel=0.1)
+        assert ideal["shared_memory"] == pytest.approx(106.0, rel=0.1)
+        assert ideal["l1"] == pytest.approx(97.0, rel=0.1)
+
+    def test_ideal_much_higher_than_real(self, model):
+        real = model.bandwidth_gbps("register_file", 48)
+        ideal = model.bandwidth_gbps("register_file", 48, ideal_interconnect=True)
+        assert ideal / real > 5.0
+
+
+class TestEnergyPerByte:
+    def test_energy_decreases_with_warps(self, model):
+        assert model.energy_pj_per_byte("register_file", 48) < model.energy_pj_per_byte("register_file", 1)
+
+    def test_register_file_cheapest(self, model):
+        for warps in (8, 48):
+            rf = model.energy_pj_per_byte("register_file", warps)
+            assert rf <= model.energy_pj_per_byte("shared_memory", warps)
+            assert rf <= model.energy_pj_per_byte("l1", warps)
+
+    def test_best_case_around_53pj(self, model):
+        assert model.energy_pj_per_byte("register_file", 48) == pytest.approx(53.0, rel=0.25)
+
+
+class TestFigure11Assembly:
+    def test_all_points_produced(self, model):
+        points = model.figure11()
+        assert len(points) == 3 * len(WARP_COUNTS)
+        assert all(p.capacity_kib > 0 and p.latency_ns > 0 for p in points)
+
+    def test_combined_configuration_headline(self):
+        combined = combined_configuration()
+        # §5: ~328 KiB capacity, ~34 GB/s bandwidth, ~61 pJ/B for RF(32)+L1(16).
+        assert combined["capacity_kib"] == pytest.approx(328.0, rel=0.1)
+        assert combined["bandwidth_gbps"] == pytest.approx(34.0, rel=0.25)
+        assert combined["energy_pj_per_byte"] == pytest.approx(61.0, rel=0.4)
+        assert combined["rf_warps"] == 32
+        assert combined["l1_warps"] == 16

@@ -1,0 +1,52 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MorpheusConfig
+from repro.gpu.config import RTX3080_CONFIG, GPUConfig
+from repro.systems.fidelity import FAST_FIDELITY
+from repro.workloads.applications import get_application
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """The baseline RTX 3080 configuration."""
+    return RTX3080_CONFIG
+
+
+@pytest.fixture
+def morpheus_config() -> MorpheusConfig:
+    """A Morpheus-Basic configuration."""
+    return MorpheusConfig()
+
+
+@pytest.fixture
+def morpheus_all_config() -> MorpheusConfig:
+    """A Morpheus-ALL configuration (compression + Indirect-MOV ISA)."""
+    return MorpheusConfig(enable_compression=True, enable_indirect_mov_isa=True)
+
+
+@pytest.fixture
+def fast_fidelity():
+    """Reduced simulation fidelity for quick tests."""
+    return FAST_FIDELITY
+
+
+@pytest.fixture
+def kmeans_profile():
+    """The kmeans application profile (a thrashing, memory-bound workload)."""
+    return get_application("kmeans")
+
+
+@pytest.fixture
+def cfd_profile():
+    """The cfd application profile (a saturating, memory-bound workload)."""
+    return get_application("cfd")
+
+
+@pytest.fixture
+def compute_bound_profile():
+    """A compute-bound application profile."""
+    return get_application("mri-q")

@@ -1,0 +1,163 @@
+"""Tests for BDI compression and the Indirect-MOV model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compression import (
+    BDICompressor,
+    CompressionLevel,
+    CompressionLevelAllocator,
+    effective_capacity_factor,
+)
+from repro.core.indirect_mov import IndirectMovImplementation, IndirectMovModel
+
+
+class TestCompressionLevel:
+    def test_sizes(self):
+        assert CompressionLevel.HIGH.compressed_size == 32
+        assert CompressionLevel.LOW.compressed_size == 64
+        assert CompressionLevel.UNCOMPRESSED.compressed_size == 128
+
+    def test_ratios(self):
+        assert CompressionLevel.HIGH.ratio == 4.0
+        assert CompressionLevel.LOW.ratio == 2.0
+        assert CompressionLevel.UNCOMPRESSED.ratio == 1.0
+
+
+class TestBDICompressor:
+    def test_small_deltas_compress_high(self):
+        compressor = BDICompressor()
+        segments = [1000 + i for i in range(32)]
+        result = compressor.classify(segments)
+        assert result.level is CompressionLevel.HIGH
+
+    def test_medium_deltas_compress_low(self):
+        compressor = BDICompressor()
+        segments = [10_000 + i * 900 for i in range(32)]
+        result = compressor.classify(segments)
+        assert result.level is CompressionLevel.LOW
+
+    def test_large_deltas_uncompressed(self):
+        compressor = BDICompressor()
+        segments = [(i * 2_654_435_761) % (2 ** 32) for i in range(32)]
+        result = compressor.classify(segments)
+        assert result.level is CompressionLevel.UNCOMPRESSED
+
+    def test_wrong_segment_count_rejected(self):
+        with pytest.raises(ValueError):
+            BDICompressor().classify([0] * 10)
+
+    def test_out_of_range_segment_rejected(self):
+        with pytest.raises(ValueError):
+            BDICompressor().classify([2 ** 32] + [0] * 31)
+
+    def test_roundtrip_high(self):
+        compressor = BDICompressor()
+        segments = [500 + i for i in range(32)]
+        result, payload = compressor.compress(segments)
+        assert compressor.decompress(result, payload) == segments
+
+    def test_roundtrip_uncompressed(self):
+        compressor = BDICompressor()
+        segments = [(i * 7_919_993) % (2 ** 32) for i in range(32)]
+        result, payload = compressor.compress(segments)
+        assert compressor.decompress(result, payload) == segments
+
+    @given(
+        st.integers(min_value=0, max_value=2 ** 31),
+        st.lists(st.integers(min_value=-120, max_value=120), min_size=31, max_size=31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, base, deltas):
+        compressor = BDICompressor()
+        segments = [base] + [max(0, min(2 ** 32 - 1, base + delta)) for delta in deltas]
+        result, payload = compressor.compress(segments)
+        assert compressor.decompress(result, payload) == segments
+        assert result.level in (CompressionLevel.HIGH, CompressionLevel.LOW, CompressionLevel.UNCOMPRESSED)
+
+
+class TestCompressionLevelAllocator:
+    def test_initially_all_uncompressed(self):
+        allocator = CompressionLevelAllocator(total_registers=32)
+        assert allocator.allocation[CompressionLevel.UNCOMPRESSED] == 32
+        assert allocator.capacity_gain() == 1.0
+
+    def test_rebalances_after_epoch(self):
+        allocator = CompressionLevelAllocator(total_registers=32, epoch_cycles=100)
+        for _ in range(50):
+            allocator.observe(CompressionLevel.HIGH, cycles=2)
+        assert allocator.epochs_completed >= 1
+        assert allocator.allocation[CompressionLevel.HIGH] == 32
+        assert allocator.capacity_gain() == pytest.approx(4.0)
+
+    def test_mixed_observation_gain_between_1_and_4(self):
+        allocator = CompressionLevelAllocator(total_registers=32, epoch_cycles=64)
+        levels = [CompressionLevel.HIGH, CompressionLevel.LOW, CompressionLevel.UNCOMPRESSED]
+        for i in range(192):
+            allocator.observe(levels[i % 3], cycles=1)
+        assert 1.0 < allocator.capacity_gain() < 4.0
+
+    def test_empty_epoch_keeps_allocation(self):
+        allocator = CompressionLevelAllocator(total_registers=16, epoch_cycles=10)
+        allocator.advance(25)
+        assert allocator.allocation[CompressionLevel.UNCOMPRESSED] == 16
+
+    def test_negative_cycles_rejected(self):
+        allocator = CompressionLevelAllocator()
+        with pytest.raises(ValueError):
+            allocator.advance(-1)
+
+
+class TestEffectiveCapacityFactor:
+    def test_all_uncompressed(self):
+        assert effective_capacity_factor(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_all_high(self):
+        assert effective_capacity_factor(1.0, 0.0) == pytest.approx(4.0)
+
+    def test_mixed(self):
+        factor = effective_capacity_factor(0.3, 0.3)
+        assert 1.0 < factor < 4.0
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            effective_capacity_factor(0.8, 0.5)
+
+
+class TestIndirectMov:
+    def test_both_implementations_read_same_value(self):
+        model = IndirectMovModel()
+        registers = [f"block-{i}" for i in range(32)]
+        for index in (0, 5, 31):
+            sw = model.read(registers, index, IndirectMovImplementation.SOFTWARE_BRX)
+            hw = model.read(registers, index, IndirectMovImplementation.HARDWARE_ISA)
+            assert sw == hw == f"block-{index}"
+
+    def test_write_then_read(self):
+        model = IndirectMovModel()
+        registers = [0] * 32
+        model.write(registers, 7, "payload", IndirectMovImplementation.HARDWARE_ISA)
+        assert model.read(registers, 7, IndirectMovImplementation.SOFTWARE_BRX) == "payload"
+
+    def test_out_of_range_index(self):
+        model = IndirectMovModel()
+        with pytest.raises(ValueError):
+            model.read([0] * 32, 32, IndirectMovImplementation.SOFTWARE_BRX)
+
+    def test_software_cost_has_three_instructions_and_branches(self):
+        cost = IndirectMovModel().cost(IndirectMovImplementation.SOFTWARE_BRX)
+        assert cost.instructions == 3
+        assert cost.branches == 2
+
+    def test_hardware_cost_is_single_instruction(self):
+        cost = IndirectMovModel().cost(IndirectMovImplementation.HARDWARE_ISA)
+        assert cost.instructions == 1
+        assert cost.branches == 0
+        assert cost.register_file_reads == 2
+
+    def test_hardware_is_faster(self):
+        model = IndirectMovModel()
+        assert model.latency_ns(IndirectMovImplementation.HARDWARE_ISA) < model.latency_ns(
+            IndirectMovImplementation.SOFTWARE_BRX
+        )
+        assert model.speedup_of_hardware() > 1.0

@@ -1,0 +1,208 @@
+"""Tests for the GPU substrate (config, warps, SMs, schedulers) and the interconnect."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.gpu.kernel import KernelLaunch, ThreadBlock
+from repro.gpu.scheduler import CTAScheduler, TwoLevelWarpScheduler
+from repro.gpu.sm import CoreMode, StreamingMultiprocessor
+from repro.gpu.warp import Warp, WarpState
+from repro.interconnect.crossbar import CrossbarLink, CrossbarSwitch
+from repro.interconnect.network import InterconnectConfig, InterconnectNetwork
+from repro.memory.request import AccessType, MemoryRequest
+
+
+class TestGPUConfig:
+    def test_rtx3080_table1_parameters(self):
+        config = RTX3080_CONFIG
+        assert config.num_sms == 68
+        assert config.llc.capacity_bytes == 5 * 1024 * 1024
+        assert config.llc.num_partitions == 10
+        assert config.dram.capacity_bytes == 10 * 1024 ** 3
+        assert config.l1_shared_bytes_per_sm == 128 * 1024
+        assert config.register_file_bytes_per_sm == 256 * 1024
+        assert config.warps_per_sm == 48
+
+    def test_with_num_sms(self):
+        assert RTX3080_CONFIG.with_num_sms(20).num_sms == 20
+        with pytest.raises(ValueError):
+            RTX3080_CONFIG.with_num_sms(100)
+
+    def test_with_llc_scale(self):
+        scaled = RTX3080_CONFIG.with_llc_scale(4)
+        assert scaled.llc.capacity_bytes == pytest.approx(20 * 1024 * 1024, rel=0.01)
+
+    def test_frequency_boost_scales_memory_system(self):
+        boosted = RTX3080_CONFIG.with_frequency_boost(1.2)
+        assert boosted.dram.bandwidth_gbps_per_channel == pytest.approx(76.0 * 1.2)
+        assert boosted.llc.hit_latency_cycles < RTX3080_CONFIG.llc.hit_latency_cycles
+        assert boosted.interconnect.bytes_per_cycle_per_port > RTX3080_CONFIG.interconnect.bytes_per_cycle_per_port
+
+    def test_with_extra_l1(self):
+        bigger = RTX3080_CONFIG.with_extra_l1(100 * 1024)
+        assert bigger.l1_shared_bytes_per_sm == 228 * 1024
+
+    def test_partition_mismatch_rejected(self):
+        from repro.memory.llc import LLCConfig
+
+        with pytest.raises(ValueError):
+            GPUConfig(llc=LLCConfig(num_partitions=5, capacity_bytes=5 * 1024 * 1024))
+
+
+class TestWarp:
+    def test_memory_request_lifecycle(self):
+        warp = Warp(warp_id=0)
+        warp.issue_memory_request(request_id=1, wakeup_cycle=100.0)
+        assert warp.state is WarpState.WAITING_MEMORY
+        warp.complete_memory_request(1)
+        assert warp.is_ready
+
+    def test_double_issue_rejected(self):
+        warp = Warp(warp_id=0)
+        warp.issue_memory_request(1, 10.0)
+        with pytest.raises(RuntimeError):
+            warp.issue_memory_request(2, 20.0)
+
+    def test_complete_wrong_request_rejected(self):
+        warp = Warp(warp_id=0)
+        warp.issue_memory_request(1, 10.0)
+        with pytest.raises(RuntimeError):
+            warp.complete_memory_request(99)
+
+    def test_finished_warp_cannot_execute(self):
+        warp = Warp(warp_id=0)
+        warp.finish()
+        with pytest.raises(RuntimeError):
+            warp.execute_instructions(1)
+
+
+class TestKernel:
+    def test_thread_block_warps(self):
+        assert ThreadBlock(0, 256).num_warps() == 8
+        assert ThreadBlock(0, 250).num_warps() == 8
+
+    def test_kernel_totals(self):
+        kernel = KernelLaunch(name="kmeans", grid_size=100, cta_threads=256)
+        assert kernel.total_threads == 25_600
+        assert kernel.total_warps() == 800
+        assert len(kernel.thread_blocks()) == 100
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(name="x", grid_size=0)
+
+
+class TestSchedulers:
+    def test_two_level_scheduler_round_robin(self):
+        warps = [Warp(warp_id=i) for i in range(6)]
+        scheduler = TwoLevelWarpScheduler(warps, active_set_size=4)
+        picked = {scheduler.select_warp(0.0).warp_id for _ in range(8)}
+        assert picked  # some warps issue
+        assert len(scheduler.active_warps) <= 4
+
+    def test_waiting_warps_demoted_and_woken(self):
+        warps = [Warp(warp_id=i) for i in range(2)]
+        scheduler = TwoLevelWarpScheduler(warps, active_set_size=2)
+        first = scheduler.select_warp(0.0)
+        first.issue_memory_request(request_id=1, wakeup_cycle=50.0)
+        scheduler.select_warp(1.0)
+        assert first in scheduler.pending_warps or first.is_ready is False
+        woken = scheduler.select_warp(60.0)
+        assert woken is not None
+
+    def test_all_finished(self):
+        warps = [Warp(warp_id=i) for i in range(3)]
+        scheduler = TwoLevelWarpScheduler(warps)
+        for warp in warps:
+            warp.finish()
+        assert scheduler.all_finished()
+
+    def test_cta_scheduler_respects_capacity(self):
+        scheduler = CTAScheduler(compute_sm_ids=[0, 1], warps_per_sm=8)
+        kernel = KernelLaunch(name="k", grid_size=4, cta_threads=256)  # 8 warps per CTA
+        assignments = scheduler.assign(kernel)
+        assert len(assignments) == 2
+        assert set(scheduler.occupancy().values()) == {8}
+
+    def test_cta_scheduler_release(self):
+        scheduler = CTAScheduler(compute_sm_ids=[0], warps_per_sm=8)
+        kernel = KernelLaunch(name="k", grid_size=1, cta_threads=256)
+        scheduler.assign(kernel)
+        scheduler.release(0, 8)
+        assert scheduler.occupancy()[0] == 0
+
+
+class TestStreamingMultiprocessor:
+    def test_compute_mode_l1_access(self):
+        sm = StreamingMultiprocessor(0, RTX3080_CONFIG)
+        hit, _ = sm.access_l1(MemoryRequest(address=0))
+        assert not hit
+        hit, _ = sm.access_l1(MemoryRequest(address=0))
+        assert hit
+        assert sm.stats.l1_hit_rate == pytest.approx(0.5)
+
+    def test_cache_mode_rejects_application_accesses(self):
+        sm = StreamingMultiprocessor(0, RTX3080_CONFIG, mode=CoreMode.CACHE)
+        with pytest.raises(RuntimeError):
+            sm.access_l1(MemoryRequest(address=0))
+
+    def test_mode_switch_flushes_l1(self):
+        sm = StreamingMultiprocessor(0, RTX3080_CONFIG)
+        sm.access_l1(MemoryRequest(address=0))
+        sm.set_mode(CoreMode.CACHE)
+        assert sm.l1.occupancy() == 0
+        assert sm.is_cache_mode
+
+    def test_capacities_exposed(self):
+        sm = StreamingMultiprocessor(0, RTX3080_CONFIG)
+        assert sm.register_file_bytes() == 256 * 1024
+        assert sm.unified_l1_shared_bytes() == 128 * 1024
+
+
+class TestInterconnect:
+    def test_link_serialization_and_queueing(self):
+        link = CrossbarLink(bytes_per_cycle=64, base_latency_cycles=10)
+        first = link.transfer(128, now_cycle=0.0)
+        second = link.transfer(128, now_cycle=0.0)
+        assert second > first  # the second transfer queues behind the first
+
+    def test_switch_tracks_bytes(self):
+        switch = CrossbarSwitch(bytes_per_cycle=64, base_latency_cycles=5)
+        switch.send_request(32, 0.0)
+        switch.send_response(128, 0.0)
+        assert switch.total_bytes() == 160
+
+    def test_network_round_trip_latency(self):
+        network = InterconnectNetwork()
+        latency = network.traverse(0, 32, now_cycle=0.0)
+        assert latency >= 2 * network.config.one_way_latency_cycles
+
+    def test_network_stats(self):
+        network = InterconnectNetwork()
+        for i in range(10):
+            network.traverse(i % network.config.num_partitions, 32, now_cycle=i * 2.0)
+        assert network.stats.traversals == 10
+        assert network.stats.average_latency_cycles > 0
+        assert network.total_load_bytes() > 0
+
+    def test_invalid_partition_rejected(self):
+        network = InterconnectNetwork()
+        with pytest.raises(ValueError):
+            network.traverse(99, 32, 0.0)
+
+    def test_congestion_penalty_kicks_in_at_high_load(self):
+        config = InterconnectConfig(bytes_per_cycle_per_port=1.0, congestion_knee=0.1)
+        network = InterconnectNetwork(config)
+        # Saturate port 0 and compare against an unloaded traversal.
+        unloaded = network.traverse(1, 32, 0.0, elapsed_cycles=1000.0)
+        for _ in range(50):
+            network.traverse(0, 32, 0.0, elapsed_cycles=10.0)
+        loaded = network.traverse(0, 32, 0.0, elapsed_cycles=10.0)
+        assert loaded > unloaded
+
+    def test_reset(self):
+        network = InterconnectNetwork()
+        network.traverse(0, 32, 0.0)
+        network.reset()
+        assert network.stats.traversals == 0
+        assert network.total_load_bytes() == 0
