@@ -5,8 +5,12 @@ the corresponding rows/series.  Simulations are expensive, so:
 
 * benchmarks run each measurement exactly once (``benchmark.pedantic`` with a
   single round);
-* results are cached per process by :mod:`repro.systems.registry`, so figures
-  that share underlying runs (Fig. 12 top/bottom, Table 3, §7.4) pay once;
+* every simulation flows through one session-wide
+  :class:`~repro.runner.runner.ExperimentRunner`, whose content-addressed
+  on-disk cache (``.repro_cache/`` by default, ``REPRO_CACHE_DIR`` to move
+  it) is shared between figures that overlap (Fig. 12 top/bottom, Table 3,
+  §7.4) *and* between benchmark sessions — a warm re-run of the suite costs
+  only JSON loads;
 * by default a representative subset of applications is used.  Set
   ``REPRO_BENCH_FULL=1`` to sweep all 17 applications (slower).
 """
@@ -17,6 +21,7 @@ import os
 
 import pytest
 
+from repro.runner import ExperimentRunner, set_active_runner
 from repro.systems.fidelity import Fidelity
 from repro.workloads.applications import COMPUTE_BOUND_APPS, MEMORY_BOUND_APPS
 
@@ -39,6 +44,17 @@ SUBSET_COMPUTE_BOUND = ["mri-q"]
 BENCH_MEMORY_BOUND = MEMORY_BOUND_APPS if FULL_SWEEP else SUBSET_MEMORY_BOUND
 BENCH_COMPUTE_BOUND = COMPUTE_BOUND_APPS if FULL_SWEEP else SUBSET_COMPUTE_BOUND
 BENCH_ALL_APPS = BENCH_MEMORY_BOUND + BENCH_COMPUTE_BOUND
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner():
+    """Session-wide runner: disk-cached, parallel where plans allow it."""
+    runner = ExperimentRunner(max_workers=int(
+        os.environ.get("REPRO_RUNNER_WORKERS", str(os.cpu_count() or 1))
+    ))
+    previous = set_active_runner(runner)
+    yield runner
+    set_active_runner(previous)
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,7 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.analysis.report import format_series, format_table
@@ -19,6 +20,7 @@ from repro.analysis.sweep import (
     normalized_ipc_curve,
     sm_count_sweep,
 )
+from repro.runner import ExperimentRunner, set_active_runner
 from repro.systems.fidelity import FAST_FIDELITY
 from repro.workloads.applications import get_application
 
@@ -27,6 +29,10 @@ def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
     profile = get_application(name)
     print(f"Application: {profile.name} ({profile.workload_class.value})")
+
+    # Parallel, disk-cached execution: re-running the study is nearly free.
+    runner = ExperimentRunner(max_workers=os.cpu_count() or 1)
+    set_active_runner(runner)
 
     sm_counts = (10, 20, 34, 50, 68)
     sweep = sm_count_sweep(profile, sm_counts=sm_counts, fidelity=FAST_FIDELITY)

@@ -8,6 +8,7 @@ qualitative behaviour.  Not part of the library API.
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 from repro.analysis.metrics import geometric_mean
@@ -17,6 +18,7 @@ from repro.analysis.sweep import (
     normalized_ipc_curve,
     sm_count_sweep,
 )
+from repro.runner import ExperimentRunner, using_runner
 from repro.systems.fidelity import Fidelity
 from repro.workloads.applications import APPLICATIONS, MEMORY_BOUND_APPS
 
@@ -35,25 +37,36 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--apps", nargs="*", default=None, help="subset of applications")
     parser.add_argument("--skip-fig2", action="store_true", help="only print Figure 1 curves")
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="worker processes for the sweeps (default: all cores)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk result cache")
     args = parser.parse_args()
 
+    runner = ExperimentRunner(
+        max_workers=args.workers, use_disk_cache=not args.no_cache
+    )
     names = args.apps or list(APPLICATIONS)
     start = time.time()
     fig2_4x = {}
-    for name in names:
-        sweep = sm_count_sweep(name, sm_counts=SM_POINTS, fidelity=CAL_FIDELITY)
-        curve = normalized_ipc_curve(sweep)
-        curve_text = " ".join(f"{c}:{v:.2f}" for c, v in curve.items())
-        print(f"{name:>8s} fig1  {curve_text}")
-        if not args.skip_fig2 and name in MEMORY_BOUND_APPS:
-            scaling = llc_scaling_sweep(name, scale_factors=(1.0, 2.0, 4.0), fidelity=CAL_FIDELITY,
-                                        sm_candidates=SM_POINTS)
-            speedups = llc_scaling_speedups(scaling)
-            fig2_4x[name] = speedups[4.0]
-            print(f"{name:>8s} fig2  2x:{speedups[2.0]:.2f} 4x:{speedups[4.0]:.2f}")
+    with using_runner(runner):
+        for name in names:
+            sweep = sm_count_sweep(name, sm_counts=SM_POINTS, fidelity=CAL_FIDELITY)
+            curve = normalized_ipc_curve(sweep)
+            curve_text = " ".join(f"{c}:{v:.2f}" for c, v in curve.items())
+            print(f"{name:>8s} fig1  {curve_text}")
+            if not args.skip_fig2 and name in MEMORY_BOUND_APPS:
+                scaling = llc_scaling_sweep(name, scale_factors=(1.0, 2.0, 4.0), fidelity=CAL_FIDELITY,
+                                            sm_candidates=SM_POINTS)
+                speedups = llc_scaling_speedups(scaling)
+                fig2_4x[name] = speedups[4.0]
+                print(f"{name:>8s} fig2  2x:{speedups[2.0]:.2f} 4x:{speedups[4.0]:.2f}")
     if fig2_4x:
         print(f"gmean 4x speedup: {geometric_mean(list(fig2_4x.values())):.2f}")
-    print(f"elapsed {time.time() - start:.0f}s")
+    cache = runner.disk_cache
+    print(f"elapsed {time.time() - start:.0f}s  "
+          f"(cache {runner.cache_dir}: {cache.hits} hits, {cache.stores} stores)")
 
 
 if __name__ == "__main__":

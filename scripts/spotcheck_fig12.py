@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.analysis.metrics import geometric_mean
+from repro.runner import ExperimentRunner, ExperimentSpec, using_runner
 from repro.systems.fidelity import Fidelity
-from repro.systems.registry import clear_caches, evaluate_application
-from repro.workloads.applications import MEMORY_BOUND_APPS
 
 FIDELITY = Fidelity(
     capacity_scale=1.0 / 32.0,
@@ -23,12 +23,17 @@ SYSTEMS = ["BL", "IBL", "IBL-4X-LLC", "Unified-SM-Mem", "Morpheus-Basic", "Morph
 
 def main() -> None:
     start = time.time()
+    spec = ExperimentSpec(systems=tuple(SYSTEMS), applications=tuple(APPS), fidelity=FIDELITY)
+    runner = ExperimentRunner(max_workers=os.cpu_count() or 1)
+    with using_runner(runner):
+        result = runner.run_plan(spec)
     speedups = {name: [] for name in SYSTEMS}
     for app in APPS:
-        base = evaluate_application("BL", app, fidelity=FIDELITY)
+        by_system = result.by_application(app)
+        base = by_system["BL"]
         row = []
         for system in SYSTEMS:
-            stats = evaluate_application(system, app, fidelity=FIDELITY)
+            stats = by_system[system]
             sp = base.execution_cycles / stats.execution_cycles
             speedups[system].append(sp)
             row.append(f"{system}:{sp:.2f}(c{stats.num_compute_sms}/$ {stats.num_cache_sms})")
@@ -36,7 +41,7 @@ def main() -> None:
     print("gmean speedups over BL:")
     for system in SYSTEMS:
         print(f"  {system:<16s} {geometric_mean(speedups[system]):.3f}")
-    print(f"elapsed {time.time() - start:.0f}s")
+    print(f"elapsed {time.time() - start:.0f}s (cache: {runner.cache_dir})")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,12 @@ re-exported here:
 """
 
 from repro.core.config import MorpheusConfig
+from repro.runner import (
+    ExperimentPlan,
+    ExperimentRunner,
+    ExperimentSpec,
+    active_runner,
+)
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
 from repro.sim.simulator import GPUSimulator, SimulationConfig, simulate
 from repro.sim.stats import SimulationStats
@@ -39,6 +45,10 @@ __all__ = [
     "APPLICATIONS",
     "COMPUTE_BOUND_APPS",
     "EVALUATED_SYSTEMS",
+    "ExperimentPlan",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "active_runner",
     "GPUConfig",
     "GPUSimulator",
     "MEMORY_BOUND_APPS",

@@ -4,14 +4,19 @@
   to 68 (Figure 1).
 * :func:`llc_scaling_sweep` — best-configuration speedup with 2x and 4x
   conventional LLC capacities (Figure 2).
+
+All sweeps execute through an :class:`~repro.runner.runner.ExperimentRunner`
+(the process-wide one by default), so the individual simulations are
+disk-cached and can be fanned out over worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
-from repro.sim.simulator import GPUSimulator, SimulationConfig
+from repro.runner.runner import ExperimentRunner, active_runner
+from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
 from repro.workloads.applications import ApplicationProfile, get_application
@@ -20,16 +25,15 @@ from repro.workloads.applications import ApplicationProfile, get_application
 FIGURE1_SM_COUNTS: Tuple[int, ...] = (10, 20, 30, 42, 50, 60, 68)
 
 
-def _simulate(
-    profile: ApplicationProfile,
+def _sweep_config(
     gpu: GPUConfig,
     num_compute_sms: int,
     fidelity: Fidelity,
     power_gate_unused: bool = True,
     system_name: str = "sweep",
     seed: int = 1,
-) -> SimulationStats:
-    config = SimulationConfig(
+) -> SimulationConfig:
+    return SimulationConfig(
         gpu=gpu,
         num_compute_sms=num_compute_sms,
         power_gate_unused=power_gate_unused,
@@ -39,7 +43,6 @@ def _simulate(
         system_name=system_name,
         seed=seed,
     )
-    return GPUSimulator(config).run(profile)
 
 
 def sm_count_sweep(
@@ -47,15 +50,15 @@ def sm_count_sweep(
     sm_counts: Sequence[int] = FIGURE1_SM_COUNTS,
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[int, SimulationStats]:
     """Simulate one application at each SM count (Figure 1 raw data)."""
     profile = application if isinstance(application, ApplicationProfile) else get_application(application)
-    results: Dict[int, SimulationStats] = {}
-    for count in sm_counts:
-        if count > gpu.num_sms:
-            continue
-        results[count] = _simulate(profile, gpu, count, fidelity)
-    return results
+    runner = runner or active_runner()
+    counts = [count for count in sm_counts if count <= gpu.num_sms]
+    configs = [_sweep_config(gpu, count, fidelity) for count in counts]
+    stats = runner.run_configs(profile, configs)
+    return dict(zip(counts, stats))
 
 
 def normalized_ipc_curve(
@@ -76,18 +79,14 @@ def best_configuration(
     gpu: GPUConfig,
     sm_candidates: Sequence[int] = FIGURE1_SM_COUNTS,
     fidelity: Fidelity = STANDARD_FIDELITY,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Tuple[int, SimulationStats]:
     """Best SM count and its stats for ``application`` on ``gpu``."""
-    profile = application if isinstance(application, ApplicationProfile) else get_application(application)
-    best: Optional[Tuple[int, SimulationStats]] = None
-    for count in sm_candidates:
-        if count > gpu.num_sms:
-            continue
-        stats = _simulate(profile, gpu, count, fidelity)
-        if best is None or stats.ipc > best[1].ipc:
-            best = (count, stats)
-    assert best is not None
-    return best
+    sweep = sm_count_sweep(application, sm_candidates, gpu, fidelity, runner=runner)
+    if not sweep:
+        raise ValueError("no SM candidate fits the GPU")
+    best_count = max(sweep, key=lambda count: sweep[count].ipc)
+    return best_count, sweep[best_count]
 
 
 def llc_scaling_sweep(
@@ -96,6 +95,7 @@ def llc_scaling_sweep(
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
     sm_candidates: Sequence[int] = FIGURE1_SM_COUNTS,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[float, SimulationStats]:
     """Best-configuration performance at several conventional LLC sizes (Figure 2).
 
@@ -106,7 +106,9 @@ def llc_scaling_sweep(
     results: Dict[float, SimulationStats] = {}
     for factor in scale_factors:
         scaled_gpu = gpu if factor == 1.0 else gpu.with_llc_scale(factor)
-        _, stats = best_configuration(profile, scaled_gpu, sm_candidates, fidelity)
+        _, stats = best_configuration(
+            profile, scaled_gpu, sm_candidates, fidelity, runner=runner
+        )
         results[factor] = stats
     return results
 

@@ -1,0 +1,42 @@
+"""Parallel, disk-cached experiment execution.
+
+This package is the single execution path for every simulation in the
+repository.  Describe a run matrix with :class:`ExperimentSpec`, expand it
+to an :class:`ExperimentPlan` of content-hash-keyed cells, and execute it
+with an :class:`ExperimentRunner` — worker processes share one
+content-addressed on-disk result cache, so re-running a plan (or any figure
+script that overlaps one) costs only JSON loads.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    active_runner,
+    set_active_runner,
+    using_runner,
+)
+from repro.runner.spec import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentCell,
+    ExperimentPlan,
+    ExperimentSpec,
+    RunSpec,
+    content_hash,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExperimentCell",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "RunSpec",
+    "active_runner",
+    "content_hash",
+    "set_active_runner",
+    "using_runner",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored as one JSON file per leaf simulation under a cache
+directory (default ``.repro_cache/``), addressed by the
+:meth:`~repro.runner.spec.RunSpec.content_key` — a hash over every
+simulation input plus :data:`~repro.runner.spec.RESULT_SCHEMA_VERSION`.
+Changing any config field, any profile parameter or the schema version
+changes the key, so stale entries are never returned; they are simply
+orphaned (``prune()`` removes them).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers of a
+:class:`~repro.runner.runner.ExperimentRunner` can share one cache
+directory: when two workers race on the same key, both produce identical
+deterministic results and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.energy.model import EnergyBreakdown
+from repro.sim.stats import SimulationStats
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def stats_to_jsonable(stats: SimulationStats) -> Dict:
+    """Render ``stats`` (including the energy breakdown) as JSON-compatible data."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_jsonable(payload: Dict) -> SimulationStats:
+    """Rebuild :class:`SimulationStats` from :func:`stats_to_jsonable` output."""
+    data = dict(payload)
+    energy = data.pop("energy", None)
+    stats = SimulationStats(**data)
+    if energy is not None:
+        stats.energy = EnergyBreakdown(**energy)
+    return stats
+
+
+class ResultCache:
+    """One content-addressed cache directory of simulation results."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """File path of the result addressed by ``key`` (sharded by prefix)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationStats]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            stats = stats_from_jsonable(payload["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # A truncated or incompatible entry is treated as a miss; the
+            # fresh result will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def store(self, key: str, stats: SimulationStats) -> None:
+        """Atomically persist ``stats`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "stats": stats_to_jsonable(stats)}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def prune(self) -> int:
+        """Delete every entry (used to reclaim space after schema bumps)."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,376 @@
+"""Parallel, disk-cached execution of simulation plans.
+
+:class:`ExperimentRunner` is the single execution path for every simulation
+in the repository:
+
+* ``simulate`` runs one leaf (profile, config) pair through a two-level
+  cache: an in-process dict and the content-addressed on-disk
+  :class:`~repro.runner.cache.ResultCache`.
+* ``run_configs`` runs a batch of leaf configs for one profile, farming
+  cache misses out to a ``ProcessPoolExecutor`` (with a transparent serial
+  fallback when multiprocessing is unavailable or ``max_workers <= 1``).
+* ``run_plan`` executes a declarative :class:`~repro.runner.spec.ExperimentSpec`
+  / :class:`~repro.runner.spec.ExperimentPlan` cell matrix in parallel; each
+  worker shares the same on-disk cache, so a warm re-run of a plan costs
+  only JSON loads.
+
+Determinism: traces are seeded with process-independent hashes and every
+cell carries its own seed, so serial and parallel execution produce
+bit-identical :class:`~repro.sim.stats.SimulationStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.energy.components import DEFAULT_ENERGIES
+from repro.energy.model import EnergyModel
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ExperimentCell, ExperimentPlan, ExperimentSpec, RunSpec
+from repro.sim.simulator import GPUSimulator, SimulationConfig
+from repro.sim.stats import SimulationStats
+from repro.workloads.applications import ApplicationProfile, get_application
+
+#: Environment variable setting the default worker count (0 = serial).
+WORKERS_ENV = "REPRO_RUNNER_WORKERS"
+
+#: Environment variable disabling the on-disk cache when set to ``0``.
+DISK_CACHE_ENV = "REPRO_DISK_CACHE"
+
+
+@dataclass
+class ExperimentResult:
+    """Results of one executed plan, keyed by cell."""
+
+    plan: ExperimentPlan
+    results: Dict[ExperimentCell, SimulationStats]
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Tuple[ExperimentCell, SimulationStats]]:
+        for cell in self.plan.cells:
+            yield cell, self.results[cell]
+
+    def get(
+        self,
+        system: str,
+        application: str,
+        seed: Optional[int] = None,
+        sm_count: Optional[int] = None,
+    ) -> SimulationStats:
+        """The stats of one cell (seed/sm_count may be omitted when unambiguous)."""
+        matches = [
+            stats
+            for cell, stats in self.results.items()
+            if cell.system == system
+            and cell.application == application
+            and (seed is None or cell.seed == seed)
+            and (sm_count is None or cell.sm_count == sm_count)
+        ]
+        if not matches:
+            raise KeyError(f"no result for ({system!r}, {application!r})")
+        if len(matches) > 1:
+            raise KeyError(
+                f"({system!r}, {application!r}) is ambiguous; pass seed/sm_count"
+            )
+        return matches[0]
+
+    def by_application(self, application: str) -> Dict[str, SimulationStats]:
+        """``{system: stats}`` for one application.
+
+        Raises ``KeyError`` when the plan has several cells per system for
+        ``application`` (multiple seeds or SM counts) — use :meth:`get` with
+        ``seed``/``sm_count`` to disambiguate instead of silently collapsing.
+        """
+        by_system: Dict[str, SimulationStats] = {}
+        for cell, stats in self.results.items():
+            if cell.application != application:
+                continue
+            if cell.system in by_system:
+                raise KeyError(
+                    f"plan has multiple cells for ({cell.system!r}, {application!r}); "
+                    "use get(seed=..., sm_count=...)"
+                )
+            by_system[cell.system] = stats
+        return by_system
+
+
+class ExperimentRunner:
+    """Executes leaf simulations, config batches and experiment plans.
+
+    Args:
+        cache_dir: On-disk cache directory (default: ``$REPRO_CACHE_DIR`` or
+            ``.repro_cache``).
+        max_workers: Worker processes for batch/plan execution.  ``None``
+            reads ``$REPRO_RUNNER_WORKERS`` (default 0); values <= 1 run
+            serially in-process.
+        use_disk_cache: Persist results to disk (``$REPRO_DISK_CACHE=0``
+            disables the default).
+        energy_model: Energy model shared by all runs.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        use_disk_cache: Optional[bool] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = int(os.environ.get(WORKERS_ENV, "0") or 0)
+        if use_disk_cache is None:
+            use_disk_cache = os.environ.get(DISK_CACHE_ENV, "1") != "0"
+        self.max_workers = max_workers
+        self.use_disk_cache = use_disk_cache
+        self.disk_cache = ResultCache(cache_dir)
+        self.energy_model = energy_model
+        self.memory_hits = 0
+        self._memory: Dict[str, SimulationStats] = {}
+        self._cache_suspended = False
+
+    # -- cache plumbing ---------------------------------------------------------------
+
+    @property
+    def cache_dir(self) -> str:
+        """The on-disk cache directory path."""
+        return str(self.disk_cache.directory)
+
+    def clear_memory_cache(self) -> None:
+        """Drop the in-process result layer (the disk layer is untouched)."""
+        self._memory.clear()
+
+    @contextmanager
+    def cache_bypassed(self) -> Iterator[None]:
+        """Context manager: recompute results, but still store them."""
+        previous = self._cache_suspended
+        self._cache_suspended = True
+        try:
+            yield
+        finally:
+            self._cache_suspended = previous
+
+    def _lookup(self, key: str) -> Optional[SimulationStats]:
+        if self._cache_suspended:
+            return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        if self.use_disk_cache:
+            loaded = self.disk_cache.load(key)
+            if loaded is not None:
+                self._memory[key] = loaded
+                return loaded
+        return None
+
+    def _store(self, key: str, stats: SimulationStats) -> None:
+        self._memory[key] = stats
+        if self.use_disk_cache:
+            self.disk_cache.store(key, stats)
+
+    # -- leaf execution ---------------------------------------------------------------
+
+    def _energies(self):
+        """The energy-model constants results are scored (and keyed) with."""
+        if self.energy_model is not None:
+            return self.energy_model.energies
+        return DEFAULT_ENERGIES
+
+    def _leaf_key(
+        self, profile: ApplicationProfile, config: SimulationConfig
+    ) -> str:
+        return RunSpec(profile, config, self._energies()).content_key()
+
+    def simulate(
+        self, profile: ApplicationProfile, config: SimulationConfig
+    ) -> SimulationStats:
+        """Run one leaf simulation through the cache."""
+        key = self._leaf_key(profile, config)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        stats = GPUSimulator(config, energy_model=self.energy_model).run(profile)
+        self._store(key, stats)
+        return stats
+
+    def run_configs(
+        self,
+        profile: ApplicationProfile,
+        configs: Sequence[SimulationConfig],
+        parallel: bool = True,
+    ) -> List[SimulationStats]:
+        """Run many configs for one profile, parallelizing cache misses."""
+        results: List[Optional[SimulationStats]] = [None] * len(configs)
+        keys = [self._leaf_key(profile, config) for config in configs]
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            cached = self._lookup(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        workers = self._effective_workers(len(pending)) if parallel else 1
+        if pending and workers > 1:
+            jobs = [
+                (profile, configs[index], self.energy_model) for index in pending
+            ]
+            computed = self._pool_map(_leaf_worker, jobs, workers)
+        else:
+            computed = None
+        if computed is None:
+            computed = [
+                GPUSimulator(configs[index], energy_model=self.energy_model).run(profile)
+                for index in pending
+            ]
+        for index, stats in zip(pending, computed):
+            self._store(keys[index], stats)
+            results[index] = stats
+        return [stats for stats in results if stats is not None]
+
+    # -- plan execution ---------------------------------------------------------------
+
+    def run_plan(self, plan: ExperimentPlan | ExperimentSpec) -> ExperimentResult:
+        """Execute every cell of ``plan`` and return the collected results."""
+        if isinstance(plan, ExperimentSpec):
+            plan = plan.expand()
+        start = time.perf_counter()
+        workers = self._effective_workers(len(plan.cells))
+        computed: Optional[List[SimulationStats]] = None
+        if workers > 1:
+            jobs = [
+                (cell, plan.spec, self.cache_dir, self.use_disk_cache, self.energy_model)
+                for cell in plan.cells
+            ]
+            computed = self._pool_map(_cell_worker, jobs, workers)
+        if computed is None:
+            computed = [self._execute_cell(cell, plan.spec) for cell in plan.cells]
+        results = dict(zip(plan.cells, computed))
+        return ExperimentResult(
+            plan=plan,
+            results=results,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Expand and execute ``spec`` (convenience wrapper for ``run_plan``)."""
+        return self.run_plan(spec)
+
+    def _execute_cell(self, cell: ExperimentCell, spec: ExperimentSpec) -> SimulationStats:
+        # Imported lazily: repro.systems modules call back into the runner.
+        from repro.systems.registry import evaluate_application
+
+        profile = get_application(cell.application)
+        if cell.sm_count is not None:
+            fidelity = spec.fidelity
+            config = SimulationConfig(
+                gpu=spec.gpu,
+                num_compute_sms=cell.sm_count,
+                power_gate_unused=True,
+                capacity_scale=fidelity.capacity_scale,
+                trace_accesses=fidelity.trace_accesses,
+                warmup_accesses=fidelity.warmup_accesses,
+                system_name=cell.system,
+                seed=cell.seed,
+            )
+            return self.simulate(profile, config)
+        # Systems resolve the process-wide runner internally; scope it to
+        # this runner so their leaf runs use this cache and energy model.
+        with using_runner(self):
+            return evaluate_application(
+                cell.system, profile, spec.gpu, spec.fidelity, seed=cell.seed
+            )
+
+    # -- worker-pool plumbing ---------------------------------------------------------
+
+    def _effective_workers(self, num_jobs: int) -> int:
+        if num_jobs <= 1:
+            return 1
+        workers = self.max_workers
+        if workers is None or workers <= 0:
+            return 1
+        return min(workers, num_jobs, os.cpu_count() or 1)
+
+    def _pool_map(self, func, jobs, workers: int) -> Optional[List]:
+        """Map ``func`` over ``jobs`` in a process pool; ``None`` on failure.
+
+        Sandboxes without working multiprocessing primitives fall back to
+        serial execution — results are identical either way.
+        """
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(func, jobs))
+        except (OSError, PermissionError, NotImplementedError, ImportError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+
+def _leaf_worker(
+    job: Tuple[ApplicationProfile, SimulationConfig, Optional[EnergyModel]]
+) -> SimulationStats:
+    """Worker-process entry point for one leaf simulation."""
+    profile, config, energy_model = job
+    return GPUSimulator(config, energy_model=energy_model).run(profile)
+
+
+def _cell_worker(
+    job: Tuple[ExperimentCell, ExperimentSpec, str, bool, Optional[EnergyModel]]
+) -> SimulationStats:
+    """Worker-process entry point for one plan cell.
+
+    Each worker installs its own serial runner pointed at the shared cache
+    directory, so the leaf simulations behind a system evaluation (including
+    SM-count searches) land in the same on-disk cache as the parent's.
+    """
+    cell, spec, cache_dir, use_disk_cache, energy_model = job
+    runner = ExperimentRunner(
+        cache_dir=cache_dir,
+        max_workers=0,
+        use_disk_cache=use_disk_cache,
+        energy_model=energy_model,
+    )
+    set_active_runner(runner)
+    return runner._execute_cell(cell, spec)
+
+
+# -- the process-wide runner ---------------------------------------------------------
+
+_ACTIVE_RUNNER: Optional[ExperimentRunner] = None
+
+
+def active_runner() -> ExperimentRunner:
+    """The process-wide runner used by systems, sweeps and the registry."""
+    global _ACTIVE_RUNNER
+    if _ACTIVE_RUNNER is None:
+        _ACTIVE_RUNNER = ExperimentRunner()
+    return _ACTIVE_RUNNER
+
+
+def set_active_runner(runner: Optional[ExperimentRunner]) -> Optional[ExperimentRunner]:
+    """Install ``runner`` as the process-wide runner; returns the previous one."""
+    global _ACTIVE_RUNNER
+    previous = _ACTIVE_RUNNER
+    _ACTIVE_RUNNER = runner
+    return previous
+
+
+@contextmanager
+def using_runner(runner: ExperimentRunner) -> Iterator[ExperimentRunner]:
+    """Context manager scoping the process-wide runner to ``runner``."""
+    previous = set_active_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_active_runner(previous)

@@ -1,0 +1,183 @@
+"""Declarative descriptions of simulation work with stable content-hash keys.
+
+Three layers:
+
+* :class:`RunSpec` — one leaf simulation (an application profile under a
+  :class:`~repro.sim.simulator.SimulationConfig`).  Its content key is a
+  SHA-256 over a canonical JSON rendering of every profile and config field
+  plus the result-schema version, so the on-disk result cache invalidates
+  whenever any simulation input (or the stats schema) changes.
+* :class:`ExperimentCell` — one cell of a run matrix: a named evaluated
+  system (or a fixed SM count) on one application with one seed.
+* :class:`ExperimentSpec` / :class:`ExperimentPlan` — the full matrix
+  (systems x applications x SM counts x seeds at one fidelity) and its
+  expansion into cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.energy.components import ComponentEnergies, DEFAULT_ENERGIES
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.sim.simulator import SimulationConfig
+from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
+from repro.workloads.applications import ApplicationProfile
+
+#: Version of the cached-result schema.  Bump whenever simulation behaviour
+#: or the :class:`~repro.sim.stats.SimulationStats` layout changes in a way
+#: that should invalidate previously cached results.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Render configs/profiles as canonical JSON-compatible structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload`` rendered as canonical JSON."""
+    text = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One leaf simulation: ``profile`` replayed under ``config``.
+
+    ``energies`` holds the energy-model constants the run is scored with;
+    they are part of the content key because they shape the energy and
+    performance/watt fields of the cached result.
+    """
+
+    profile: ApplicationProfile
+    config: SimulationConfig
+    energies: ComponentEnergies = DEFAULT_ENERGIES
+
+    def content_key(self) -> str:
+        """Stable content-hash key identifying this run's full input set."""
+        return content_hash(
+            {
+                "schema": RESULT_SCHEMA_VERSION,
+                "profile": self.profile,
+                "config": self.config,
+                "energies": self.energies,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One cell of a run matrix.
+
+    ``sm_count is None`` means "evaluate the named system at its own
+    operating point" (registry semantics, including per-application SM-count
+    searches).  A concrete ``sm_count`` instead requests a direct power-gated
+    run at that compute-SM count, labelled with ``system`` — the mode the
+    Figure-1/2 sweeps use.
+    """
+
+    system: str
+    application: str
+    seed: int = 1
+    sm_count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative run matrix: systems x applications x SM counts x seeds.
+
+    Attributes:
+        systems: Evaluated-system names (see
+            :data:`repro.systems.registry.EVALUATED_SYSTEMS`) or, when
+            ``sm_counts`` is given, labels for the direct sweep runs.
+        applications: Application names (Table 2).
+        fidelity: Trace sizing preset shared by all cells.
+        gpu: Baseline GPU configuration.
+        seeds: Trace-generation seeds; each seed is an independent cell.
+        sm_counts: ``None`` for named-system evaluation, or explicit compute
+            SM counts for sweep-style direct runs.
+    """
+
+    systems: Tuple[str, ...]
+    applications: Tuple[str, ...]
+    fidelity: Fidelity = STANDARD_FIDELITY
+    gpu: GPUConfig = RTX3080_CONFIG
+    seeds: Tuple[int, ...] = (1,)
+    sm_counts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        # Accept any sequences and normalize to tuples so specs stay hashable.
+        object.__setattr__(self, "systems", tuple(self.systems))
+        object.__setattr__(self, "applications", tuple(self.applications))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if self.sm_counts is not None:
+            object.__setattr__(self, "sm_counts", tuple(self.sm_counts))
+        if not self.systems:
+            raise ValueError("an experiment needs at least one system")
+        if not self.applications:
+            raise ValueError("an experiment needs at least one application")
+        if not self.seeds:
+            raise ValueError("an experiment needs at least one seed")
+
+    def expand(self) -> "ExperimentPlan":
+        """Expand the matrix into one :class:`ExperimentCell` per run."""
+        cells = []
+        sm_counts: Sequence[Optional[int]] = (
+            (None,) if self.sm_counts is None else self.sm_counts
+        )
+        for system in self.systems:
+            for application in self.applications:
+                for seed in self.seeds:
+                    for sm_count in sm_counts:
+                        if sm_count is not None and sm_count > self.gpu.num_sms:
+                            continue
+                        cells.append(
+                            ExperimentCell(
+                                system=system,
+                                application=application,
+                                seed=seed,
+                                sm_count=sm_count,
+                            )
+                        )
+        return ExperimentPlan(spec=self, cells=tuple(cells))
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An expanded experiment: the spec plus its concrete cells."""
+
+    spec: ExperimentSpec
+    cells: Tuple[ExperimentCell, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[ExperimentCell]:
+        return iter(self.cells)
+
+    def content_key(self) -> str:
+        """Stable content-hash key of the whole plan (spec + cells)."""
+        return content_hash(
+            {
+                "schema": RESULT_SCHEMA_VERSION,
+                "spec": self.spec,
+                "cells": list(self.cells),
+            }
+        )

@@ -1,6 +1,7 @@
 """Cycle-approximate, trace-driven GPU simulation."""
 
 from repro.sim.engine import HierarchyCounters, MemoryHierarchyEngine
+from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
 from repro.sim.simulator import GPUSimulator, SimulationConfig
 from repro.sim.stats import SimulationStats
 
@@ -8,6 +9,8 @@ __all__ = [
     "GPUSimulator",
     "HierarchyCounters",
     "MemoryHierarchyEngine",
+    "PerformanceModel",
+    "ReplayMeasurement",
     "SimulationConfig",
     "SimulationStats",
 ]

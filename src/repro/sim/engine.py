@@ -213,14 +213,15 @@ class MemoryHierarchyEngine:
             total += dram_latency
             self.counters.conventional_bytes += request.size_bytes
         if writeback is not None:
+            # An evicted dirty block always moves one full cache block to
+            # DRAM, regardless of the triggering request's size.
             self.counters.writebacks += 1
-            self.counters.dram_bytes += request.size_bytes
+            self.counters.dram_bytes += self.gpu.block_size
         self.counters.total_latency_cycles += total
 
     def _account_morpheus(
         self, outcome: AccessOutcome, request: MemoryRequest, noc_latency: float
     ) -> None:
-        controller_stats_delta = 1  # every access passed through a controller
         if outcome.hit_level == "llc":
             self.counters.conventional_hits += 1
             self.counters.conventional_bytes += request.size_bytes
@@ -238,9 +239,9 @@ class MemoryHierarchyEngine:
             if outcome.false_positive:
                 self.counters.false_positive_trips += 1
         self.counters.writebacks += len(outcome.writebacks)
-        self.counters.dram_bytes += len(outcome.writebacks) * request.size_bytes
+        # Each evicted dirty block writes one full cache block back to DRAM.
+        self.counters.dram_bytes += len(outcome.writebacks) * self.gpu.block_size
         self.counters.total_latency_cycles += noc_latency + outcome.latency_cycles
-        del controller_stats_delta
 
     # -- derived metrics -----------------------------------------------------------------
 

@@ -6,33 +6,30 @@
    :class:`~repro.sim.engine.MemoryHierarchyEngine` drives an application's
    LLC-level trace through the real cache, controller, interconnect and DRAM
    structures to measure hit rates, routing fractions, latency and traffic.
-2. A **bottleneck (roofline-style) performance model** — IPC is the minimum
-   of the compute limit, the DRAM bandwidth limit, the conventional/extended
-   LLC bandwidth limits, the interconnect limit and the latency/MLP limit.
-   This reproduces the behaviours the paper's evaluation rests on: memory-
-   bound applications saturate when the DRAM bandwidth limit binds, thrash
-   when growing per-SM footprints push the LLC hit rate down, and speed up
-   when a larger (conventional or extended) LLC converts DRAM traffic into
-   on-chip hits.
-
-Execution time, energy and performance/watt follow from the modelled IPC and
-the per-level traffic extrapolated to the application's full instruction
-count.
+   Traces are fetched from the shared
+   :class:`~repro.workloads.generator.TraceCache`, so systems evaluated on
+   the same (profile, SM count, scale, seed) reuse one generated trace.
+2. A **bottleneck (roofline-style) performance model** — the standalone
+   :class:`~repro.sim.performance_model.PerformanceModel` scores the replay's
+   :class:`~repro.sim.performance_model.ReplayMeasurement` into IPC, energy
+   and performance/watt.  Because scoring is pure, one replay can be
+   re-scored under different analytic parameters without re-replaying.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import MorpheusConfig
 from repro.core.extended_llc import Compressibility
 from repro.energy.model import EnergyModel
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
-from repro.sim.engine import HierarchyCounters, MemoryHierarchyEngine
+from repro.sim.engine import MemoryHierarchyEngine
+from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
 from repro.sim.stats import SimulationStats
 from repro.workloads.applications import ApplicationProfile
-from repro.workloads.generator import TraceGenerator
+from repro.workloads.generator import SHARED_TRACE_CACHE, TraceCache
 
 
 @dataclass(frozen=True)
@@ -51,6 +48,9 @@ class SimulationConfig:
         trace_accesses: LLC-level accesses replayed (after warm-up).
         warmup_accesses: LLC-level accesses replayed to warm the caches
             before measurement starts.
+        request_interval_cycles: Modelled gap between consecutive trace
+            entries entering the memory system; sets the offered load for
+            the bandwidth/queueing models.
         peak_warp_ipc_per_sm: Peak warp instructions per cycle per SM.
         mlp_per_sm: Outstanding LLC-level requests one SM can sustain.
         system_name: Label recorded in the result (e.g. ``"Morpheus-ALL"``).
@@ -65,6 +65,7 @@ class SimulationConfig:
     capacity_scale: float = 1.0 / 16.0
     trace_accesses: int = 24_000
     warmup_accesses: int = 8_000
+    request_interval_cycles: float = 2.0
     peak_warp_ipc_per_sm: float = 4.0
     mlp_per_sm: float = 320.0
     system_name: str = "BL"
@@ -86,14 +87,27 @@ class SimulationConfig:
             raise ValueError("trace_accesses must be positive")
         if self.warmup_accesses < 0:
             raise ValueError("warmup_accesses must be non-negative")
+        if self.request_interval_cycles <= 0:
+            raise ValueError("request_interval_cycles must be positive")
 
 
 class GPUSimulator:
     """Simulates one application on one system configuration."""
 
-    def __init__(self, config: SimulationConfig, energy_model: EnergyModel | None = None) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        energy_model: EnergyModel | None = None,
+        trace_cache: TraceCache | None = None,
+    ) -> None:
         self.config = config
-        self.energy_model = energy_model or EnergyModel()
+        self.performance_model = PerformanceModel(energy_model)
+        self.trace_cache = trace_cache if trace_cache is not None else SHARED_TRACE_CACHE
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        """The energy model used by the scoring step."""
+        return self.performance_model.energy_model
 
     # -- internal helpers ------------------------------------------------------------
 
@@ -112,183 +126,42 @@ class GPUSimulator:
             cache_sm_ids=cache_sm_ids,
             compressibility=compressibility,
             capacity_scale=cfg.capacity_scale,
+            request_interval_cycles=cfg.request_interval_cycles,
         )
-
-    def _l1_hit_rate(self, profile: ApplicationProfile) -> float:
-        return profile.l1_hit_rate_for_capacity(self.config.gpu.l1_shared_bytes_per_sm)
 
     # -- the run -------------------------------------------------------------------------
 
-    def run(self, profile: ApplicationProfile) -> SimulationStats:
-        """Simulate ``profile`` on the configured system and return statistics."""
-        cfg = self.config
-        gpu = cfg.gpu
+    def replay(self, profile: ApplicationProfile) -> ReplayMeasurement:
+        """Replay ``profile``'s trace through the hierarchy and return the measurement.
 
+        The returned :class:`ReplayMeasurement` can be scored (and re-scored)
+        by a :class:`~repro.sim.performance_model.PerformanceModel` without
+        re-running the replay.
+        """
+        cfg = self.config
         engine = self._build_engine(profile)
-        generator = TraceGenerator(
+        warmup, trace = self.trace_cache.traces(
             profile,
             num_compute_sms=cfg.num_compute_sms,
             scale=cfg.capacity_scale,
             seed=cfg.seed,
+            warmup_accesses=cfg.warmup_accesses,
+            trace_accesses=cfg.trace_accesses,
         )
-        if cfg.warmup_accesses:
-            warmup = generator.generate(cfg.warmup_accesses)
+        if len(warmup):
             engine.run(warmup)
             engine.reset_counters()
-        trace = generator.generate(cfg.trace_accesses)
         counters = engine.run(trace)
-
-        return self._build_stats(profile, engine, counters)
-
-    # -- the bottleneck performance model -----------------------------------------------------
-
-    def _build_stats(
-        self,
-        profile: ApplicationProfile,
-        engine: MemoryHierarchyEngine,
-        counters: HierarchyCounters,
-    ) -> SimulationStats:
-        cfg = self.config
-        gpu = cfg.gpu
-
-        l1_hit = self._l1_hit_rate(profile)
-        apki_l1 = profile.l1_apki
-        apki_llc = profile.llc_apki(l1_hit)
-        block = gpu.block_size
-
-        accesses = max(1, counters.llc_accesses)
-        dram_demand_fraction = counters.dram_access_fraction
-        writebacks_per_access = counters.writebacks / accesses
-        llc_mpki = apki_llc * (1.0 - counters.llc_hit_rate)
-        dram_apki = apki_llc * dram_demand_fraction
-
-        # Bytes moved per kilo-instruction at each level (measured per LLC
-        # access, scaled by the application's LLC access intensity).
-        conv_bytes_per_ki = counters.conventional_bytes / accesses * apki_llc
-        ext_bytes_per_ki = counters.extended_bytes / accesses * apki_llc
-        dram_bytes_per_ki = counters.dram_bytes / accesses * apki_llc
-        noc_bytes_per_ki = counters.noc_bytes / accesses * apki_llc
-        l1_bytes_per_ki = apki_l1 * block
-
-        # --- IPC limits -------------------------------------------------------------
-        limits: Dict[str, float] = {}
-        limits["compute"] = (
-            cfg.num_compute_sms * cfg.peak_warp_ipc_per_sm * profile.compute_efficiency
-        )
-
-        def bandwidth_limit(bytes_per_cycle: float, bytes_per_ki: float) -> float:
-            if bytes_per_ki <= 1e-9:
-                return float("inf")
-            return bytes_per_cycle / (bytes_per_ki / 1000.0)
-
-        dram_bpc = gpu.dram.bytes_per_cycle_per_channel * gpu.dram.num_channels
-        limits["dram_bandwidth"] = bandwidth_limit(dram_bpc, dram_bytes_per_ki)
-
-        llc_bpc = gpu.llc.bytes_per_cycle_per_partition * gpu.llc.num_partitions
-        limits["llc_bandwidth"] = bandwidth_limit(llc_bpc, conv_bytes_per_ki)
-
-        if cfg.num_cache_sms > 0 and cfg.morpheus is not None:
-            ext_bpc = (
-                cfg.morpheus.timing.per_sm_extended_bandwidth_gbps
-                / gpu.core_clock_ghz
-                * cfg.num_cache_sms
-            )
-            limits["extended_llc_bandwidth"] = bandwidth_limit(ext_bpc, ext_bytes_per_ki)
-
-        # The measured NoC bytes cover both directions while the per-port
-        # bandwidth is per direction, so the aggregate capacity is doubled.
-        noc_bpc = 2.0 * gpu.interconnect.bytes_per_cycle_per_port * gpu.interconnect.num_partitions
-        limits["noc_bandwidth"] = bandwidth_limit(noc_bpc, noc_bytes_per_ki)
-
-        avg_latency = max(1.0, counters.average_latency_cycles)
-        if apki_llc > 1e-9:
-            limits["latency"] = (
-                cfg.num_compute_sms * cfg.mlp_per_sm / avg_latency * (1000.0 / apki_llc)
-            )
-        else:
-            limits["latency"] = float("inf")
-
-        ipc = min(limits.values())
-        bottleneck = min(limits, key=limits.get)
-
-        instructions = float(profile.instructions)
-        execution_cycles = instructions / max(ipc, 1e-9)
-
-        # --- energy -----------------------------------------------------------------
-        kilo_instructions = instructions / 1000.0
-        num_gated = 0
-        num_active_extra = gpu.num_sms - cfg.num_compute_sms - cfg.num_cache_sms
-        if cfg.power_gate_unused:
-            num_gated = num_active_extra
-            num_active_extra = 0
-        breakdown = self.energy_model.compute(
-            execution_cycles=execution_cycles,
-            instructions=instructions,
-            dram_bytes=dram_bytes_per_ki * kilo_instructions,
-            llc_bytes=conv_bytes_per_ki * kilo_instructions,
-            extended_llc_bytes=ext_bytes_per_ki * kilo_instructions,
-            l1_bytes=l1_bytes_per_ki * kilo_instructions,
-            noc_bytes=noc_bytes_per_ki * kilo_instructions,
-            num_compute_sms=cfg.num_compute_sms + num_active_extra,
-            num_cache_sms=cfg.num_cache_sms,
-            num_gated_sms=num_gated,
-            morpheus_enabled=cfg.morpheus is not None and cfg.num_cache_sms > 0,
-        )
-        perf_per_watt = self.energy_model.performance_per_watt(ipc, breakdown, execution_cycles)
-        avg_power = self.energy_model.average_power_watts(breakdown, execution_cycles)
-
-        predictor = engine.predictor_stats() if engine.controllers else None
-
-        # Achieved throughputs at the modelled IPC (GB/s).
-        seconds_per_ki = (1000.0 / max(ipc, 1e-9)) / (gpu.core_clock_ghz * 1e9)
-        def throughput_gbps(bytes_per_ki: float) -> float:
-            if seconds_per_ki <= 0:
-                return 0.0
-            return bytes_per_ki / seconds_per_ki / 1e9
-
-        stats = SimulationStats(
-            application=profile.name,
-            system=cfg.system_name,
-            num_compute_sms=cfg.num_compute_sms,
-            num_cache_sms=cfg.num_cache_sms,
-            num_gated_sms=num_gated,
-            ipc=ipc,
-            execution_cycles=execution_cycles,
-            instructions=instructions,
-            l1_hit_rate=l1_hit,
-            llc_hit_rate=counters.llc_hit_rate,
-            conventional_llc_hit_rate=counters.conventional_hit_rate,
-            extended_llc_hit_rate=counters.extended_hit_rate,
-            extended_fraction=counters.extended_fraction,
-            llc_mpki=llc_mpki,
-            llc_apki=apki_llc,
-            dram_accesses_per_ki=dram_apki,
-            dram_bytes=dram_bytes_per_ki * kilo_instructions,
-            dram_bandwidth_utilization=min(
-                1.0, throughput_gbps(dram_bytes_per_ki) / max(1e-9, gpu.dram.total_bandwidth_gbps)
-            ),
-            llc_throughput_gbps=throughput_gbps(conv_bytes_per_ki + ext_bytes_per_ki),
-            extended_llc_throughput_gbps=throughput_gbps(ext_bytes_per_ki),
-            noc_bytes=noc_bytes_per_ki * kilo_instructions,
-            noc_injection_bytes_per_cycle=noc_bytes_per_ki / 1000.0 * ipc,
+        return ReplayMeasurement(
+            counters=counters,
             noc_average_latency_cycles=engine.network.stats.average_latency_cycles,
-            average_memory_latency_cycles=avg_latency,
-            bottleneck=bottleneck,
-            limits=limits,
-            predictor_false_positive_rate=(
-                predictor.false_positive_rate if predictor is not None else 0.0
-            ),
-            predictor_false_negatives=(
-                predictor.false_negatives if predictor is not None else 0
-            ),
-            predicted_miss_fraction=(
-                counters.predicted_misses / accesses if accesses else 0.0
-            ),
-            energy=breakdown,
-            average_power_watts=avg_power,
-            performance_per_watt=perf_per_watt,
+            predictor=engine.predictor_stats() if engine.controllers else None,
         )
-        return stats
+
+    def run(self, profile: ApplicationProfile) -> SimulationStats:
+        """Simulate ``profile`` on the configured system and return statistics."""
+        measurement = self.replay(profile)
+        return self.performance_model.score(profile, self.config, measurement)
 
 
 def simulate(

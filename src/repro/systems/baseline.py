@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
-from repro.sim.simulator import GPUSimulator, SimulationConfig
+from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
 from repro.workloads.applications import ApplicationProfile
@@ -31,13 +31,25 @@ DEFAULT_SM_CANDIDATES: Tuple[int, ...] = (10, 18, 24, 34, 42, 53, 60, 68)
 
 
 class EvaluatedSystem(abc.ABC):
-    """Base class for one evaluated system configuration."""
+    """Base class for one evaluated system configuration.
+
+    All simulations route through the process-wide
+    :class:`~repro.runner.runner.ExperimentRunner`, so every leaf run —
+    including the best-SM-count searches — is cached on disk and can be
+    executed by parallel workers.
+    """
 
     name: str = "system"
 
-    def __init__(self, gpu: GPUConfig = RTX3080_CONFIG, fidelity: Fidelity = STANDARD_FIDELITY) -> None:
+    def __init__(
+        self,
+        gpu: GPUConfig = RTX3080_CONFIG,
+        fidelity: Fidelity = STANDARD_FIDELITY,
+        seed: int = 1,
+    ) -> None:
         self.gpu = gpu
         self.fidelity = fidelity
+        self.seed = seed
 
     @abc.abstractmethod
     def evaluate(self, profile: ApplicationProfile) -> SimulationStats:
@@ -45,17 +57,17 @@ class EvaluatedSystem(abc.ABC):
 
     # -- shared helpers ----------------------------------------------------------
 
-    def _simulate(
+    def _config(
         self,
-        profile: ApplicationProfile,
         gpu: GPUConfig,
         num_compute_sms: int,
         power_gate_unused: bool,
         search_fidelity: bool = False,
         **kwargs,
-    ) -> SimulationStats:
+    ) -> SimulationConfig:
         fidelity = self.fidelity
-        config = SimulationConfig(
+        kwargs.setdefault("seed", self.seed)
+        return SimulationConfig(
             gpu=gpu,
             num_compute_sms=num_compute_sms,
             power_gate_unused=power_gate_unused,
@@ -69,7 +81,22 @@ class EvaluatedSystem(abc.ABC):
             system_name=self.name,
             **kwargs,
         )
-        return GPUSimulator(config).run(profile)
+
+    def _simulate(
+        self,
+        profile: ApplicationProfile,
+        gpu: GPUConfig,
+        num_compute_sms: int,
+        power_gate_unused: bool,
+        search_fidelity: bool = False,
+        **kwargs,
+    ) -> SimulationStats:
+        from repro.runner.runner import active_runner
+
+        config = self._config(
+            gpu, num_compute_sms, power_gate_unused, search_fidelity, **kwargs
+        )
+        return active_runner().simulate(profile, config)
 
     def _best_sm_count(
         self,
@@ -79,14 +106,17 @@ class EvaluatedSystem(abc.ABC):
         power_gate_unused: bool = True,
     ) -> int:
         """Find the SM count maximizing IPC for ``profile`` on ``gpu``."""
-        best_count = candidates[0]
+        from repro.runner.runner import active_runner
+
+        counts = [count for count in candidates if count <= gpu.num_sms]
+        configs = [
+            self._config(gpu, count, power_gate_unused, search_fidelity=True)
+            for count in counts
+        ]
+        all_stats = active_runner().run_configs(profile, configs)
+        best_count = counts[0]
         best_ipc = -1.0
-        for count in candidates:
-            if count > gpu.num_sms:
-                continue
-            stats = self._simulate(
-                profile, gpu, count, power_gate_unused, search_fidelity=True
-            )
+        for count, stats in zip(counts, all_stats):
             if stats.ipc > best_ipc:
                 best_ipc = stats.ipc
                 best_count = count
@@ -98,8 +128,13 @@ class BaselineSystem(EvaluatedSystem):
 
     name = "BL"
 
-    def __init__(self, gpu: GPUConfig = RTX3080_CONFIG, fidelity: Fidelity = STANDARD_FIDELITY) -> None:
-        super().__init__(gpu, fidelity)
+    def __init__(
+        self,
+        gpu: GPUConfig = RTX3080_CONFIG,
+        fidelity: Fidelity = STANDARD_FIDELITY,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(gpu, fidelity, seed)
         # Fairness adjustment: fold the 21 KiB x num_partitions of Morpheus
         # controller storage into BL's conventional LLC.
         extra = 21 * 1024 * gpu.llc.num_partitions
@@ -135,8 +170,9 @@ class IBL4xLLCSystem(EvaluatedSystem):
         gpu: GPUConfig = RTX3080_CONFIG,
         fidelity: Fidelity = STANDARD_FIDELITY,
         scale_factor: float = 4.0,
+        seed: int = 1,
     ) -> None:
-        super().__init__(gpu, fidelity)
+        super().__init__(gpu, fidelity, seed)
         self.scale_factor = scale_factor
         self._gpu = gpu.with_llc_scale(scale_factor)
 
@@ -183,8 +219,9 @@ class UnifiedSMMemSystem(EvaluatedSystem):
         gpu: GPUConfig = RTX3080_CONFIG,
         fidelity: Fidelity = STANDARD_FIDELITY,
         unused_register_fraction: float = 0.6,
+        seed: int = 1,
     ) -> None:
-        super().__init__(gpu, fidelity)
+        super().__init__(gpu, fidelity, seed)
         if not 0.0 <= unused_register_fraction <= 1.0:
             raise ValueError("unused_register_fraction must be in [0, 1]")
         self.unused_register_fraction = unused_register_fraction

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import MorpheusConfig
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
-from repro.sim.simulator import GPUSimulator, SimulationConfig
+from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.systems.baseline import DEFAULT_SM_CANDIDATES, EvaluatedSystem
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
@@ -68,8 +68,9 @@ class MorpheusSystem(EvaluatedSystem):
         fidelity: Fidelity = STANDARD_FIDELITY,
         predictor: str = "bloom",
         compute_sm_candidates: Sequence[int] = DEFAULT_SM_CANDIDATES,
+        seed: int = 1,
     ) -> None:
-        super().__init__(gpu, fidelity)
+        super().__init__(gpu, fidelity, seed)
         self.variant = variant
         self.predictor = predictor
         self.morpheus_config = variant.to_config(predictor)
@@ -101,13 +102,21 @@ class MorpheusSystem(EvaluatedSystem):
             self._operating_points[profile.name] = point
             return point
 
+        from repro.runner.runner import active_runner
+
+        candidates = [
+            (compute, self._cache_sms_for(compute))
+            for compute in self.compute_sm_candidates
+            if compute <= self.gpu.num_sms
+        ]
+        configs = [
+            self._point_config(compute, cache, search_fidelity=True)
+            for compute, cache in candidates
+        ]
+        all_stats = active_runner().run_configs(profile, configs)
         best_point = MorpheusOperatingPoint(self.gpu.num_sms, 0, 0)
         best_ipc = -1.0
-        for compute in self.compute_sm_candidates:
-            if compute > self.gpu.num_sms:
-                continue
-            cache = self._cache_sms_for(compute)
-            stats = self._simulate_point(profile, compute, cache, search_fidelity=True)
+        for (compute, cache), stats in zip(candidates, all_stats):
             if stats.ipc > best_ipc:
                 best_ipc = stats.ipc
                 best_point = MorpheusOperatingPoint(
@@ -118,15 +127,14 @@ class MorpheusSystem(EvaluatedSystem):
 
     # -- simulation ------------------------------------------------------------------------
 
-    def _simulate_point(
+    def _point_config(
         self,
-        profile: ApplicationProfile,
         num_compute_sms: int,
         num_cache_sms: int,
         search_fidelity: bool = False,
-    ) -> SimulationStats:
+    ) -> SimulationConfig:
         fidelity = self.fidelity
-        config = SimulationConfig(
+        return SimulationConfig(
             gpu=self.gpu,
             morpheus=self.morpheus_config if num_cache_sms > 0 else None,
             num_compute_sms=num_compute_sms,
@@ -140,8 +148,20 @@ class MorpheusSystem(EvaluatedSystem):
                 fidelity.search_warmup_accesses if search_fidelity else fidelity.warmup_accesses
             ),
             system_name=self.name,
+            seed=self.seed,
         )
-        return GPUSimulator(config).run(profile)
+
+    def _simulate_point(
+        self,
+        profile: ApplicationProfile,
+        num_compute_sms: int,
+        num_cache_sms: int,
+        search_fidelity: bool = False,
+    ) -> SimulationStats:
+        from repro.runner.runner import active_runner
+
+        config = self._point_config(num_compute_sms, num_cache_sms, search_fidelity)
+        return active_runner().simulate(profile, config)
 
     def evaluate(self, profile: ApplicationProfile) -> SimulationStats:
         point = self.operating_point(profile)

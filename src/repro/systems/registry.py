@@ -1,15 +1,18 @@
-"""Registry of the nine evaluated systems and cached evaluation helpers.
+"""Registry of the nine evaluated systems and runner-backed evaluation helpers.
 
 Running a full Figure-12-style comparison means simulating 17 applications on
-nine systems, several of which search per-application operating points.  The
-registry caches :class:`~repro.sim.stats.SimulationStats` per
-``(system, application, fidelity)`` within the process so figures and tables
-that share underlying runs (e.g. Fig. 12 top and bottom) pay for them once.
+nine systems, several of which search per-application operating points.  All
+of that work flows through the process-wide
+:class:`~repro.runner.runner.ExperimentRunner`, whose content-addressed
+on-disk cache replaces the fragile per-process memo dicts this module used to
+keep: every leaf simulation (including the runs behind a best-SM-count
+search) is cached by a hash of its full input set, shared between processes
+and between figures that overlap (e.g. Fig. 12 top and bottom, Table 3).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
 from repro.sim.stats import SimulationStats
@@ -23,10 +26,10 @@ from repro.systems.baseline import (
 )
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
 from repro.systems.morpheus_system import MorpheusSystem, MorpheusVariant
-from repro.workloads.applications import APPLICATIONS, ApplicationProfile, get_application
+from repro.workloads.applications import ApplicationProfile, get_application
 
 #: Names of the nine systems of Figure 12, in presentation order.
-EVALUATED_SYSTEMS: Tuple[str, ...] = (
+EVALUATED_SYSTEMS: tuple[str, ...] = (
     "BL",
     "IBL",
     "IBL-4X-LLC",
@@ -38,54 +41,47 @@ EVALUATED_SYSTEMS: Tuple[str, ...] = (
     "Morpheus-ALL",
 )
 
-_SYSTEM_CACHE: Dict[Tuple[str, float, int], EvaluatedSystem] = {}
-_RESULT_CACHE: Dict[Tuple[str, str, float, int], SimulationStats] = {}
-
-
-def _fidelity_key(fidelity: Fidelity) -> Tuple[float, int]:
-    return (fidelity.capacity_scale, fidelity.trace_accesses)
-
 
 def get_system(
     name: str,
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
+    seed: int = 1,
 ) -> EvaluatedSystem:
-    """Construct (or fetch a cached) evaluated system by its Figure-12 name."""
-    key = (name, *_fidelity_key(fidelity))
-    cached = _SYSTEM_CACHE.get(key)
-    if cached is not None:
-        return cached
+    """Construct an evaluated system by its Figure-12 name.
 
+    Systems are cheap to construct; the expensive part — their simulations —
+    is cached by the runner, so no instance memoization is needed.
+    """
     if name == "BL":
-        system: EvaluatedSystem = BaselineSystem(gpu, fidelity)
+        system: EvaluatedSystem = BaselineSystem(gpu, fidelity, seed=seed)
     elif name == "IBL":
-        system = ImprovedBaselineSystem(gpu, fidelity)
+        system = ImprovedBaselineSystem(gpu, fidelity, seed=seed)
     elif name == "IBL-4X-LLC":
-        system = IBL4xLLCSystem(gpu, fidelity)
+        system = IBL4xLLCSystem(gpu, fidelity, seed=seed)
     elif name == "IBL-2X-LLC":
-        system = IBL4xLLCSystem(gpu, fidelity, scale_factor=2.0)
+        system = IBL4xLLCSystem(gpu, fidelity, scale_factor=2.0, seed=seed)
         system.name = "IBL-2X-LLC"
     elif name == "Unified-SM-Mem":
-        system = UnifiedSMMemSystem(gpu, fidelity)
+        system = UnifiedSMMemSystem(gpu, fidelity, seed=seed)
     elif name == "Frequency-Boost":
-        system = FrequencyBoostSystem(gpu, fidelity)
+        system = FrequencyBoostSystem(gpu, fidelity, seed=seed)
     elif name == "Morpheus-Basic":
-        system = MorpheusSystem(MorpheusVariant.BASIC, gpu, fidelity)
+        system = MorpheusSystem(MorpheusVariant.BASIC, gpu, fidelity, seed=seed)
     elif name == "Morpheus-Compression":
-        system = MorpheusSystem(MorpheusVariant.COMPRESSION, gpu, fidelity)
+        system = MorpheusSystem(MorpheusVariant.COMPRESSION, gpu, fidelity, seed=seed)
     elif name == "Morpheus-Indirect-MOV":
-        system = MorpheusSystem(MorpheusVariant.INDIRECT_MOV, gpu, fidelity)
+        system = MorpheusSystem(MorpheusVariant.INDIRECT_MOV, gpu, fidelity, seed=seed)
     elif name == "Morpheus-ALL":
-        system = MorpheusSystem(MorpheusVariant.ALL, gpu, fidelity)
+        system = MorpheusSystem(MorpheusVariant.ALL, gpu, fidelity, seed=seed)
     elif name.startswith("Morpheus-Basic(") and name.endswith(")"):
         predictor = name[len("Morpheus-Basic("):-1]
-        system = MorpheusSystem(MorpheusVariant.BASIC, gpu, fidelity, predictor=predictor)
+        system = MorpheusSystem(
+            MorpheusVariant.BASIC, gpu, fidelity, predictor=predictor, seed=seed
+        )
     else:
         valid = ", ".join(EVALUATED_SYSTEMS)
         raise ValueError(f"unknown system {name!r}; expected one of: {valid}")
-
-    _SYSTEM_CACHE[key] = system
     return system
 
 
@@ -95,16 +91,21 @@ def evaluate_application(
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
     use_cache: bool = True,
+    seed: int = 1,
 ) -> SimulationStats:
-    """Simulate one application on one named system (cached per process)."""
+    """Simulate one application on one named system (runner-cached).
+
+    With ``use_cache=False`` the underlying leaf simulations are recomputed
+    (and the cache refreshed) instead of being served from it.
+    """
+    from repro.runner.runner import active_runner
+
     profile = application if isinstance(application, ApplicationProfile) else get_application(application)
-    key = (system_name, profile.name, *_fidelity_key(fidelity))
-    if use_cache and key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
-    system = get_system(system_name, gpu, fidelity)
-    stats = system.evaluate(profile)
-    _RESULT_CACHE[key] = stats
-    return stats
+    system = get_system(system_name, gpu, fidelity, seed=seed)
+    if use_cache:
+        return system.evaluate(profile)
+    with active_runner().cache_bypassed():
+        return system.evaluate(profile)
 
 
 def evaluate_all_systems(
@@ -113,13 +114,29 @@ def evaluate_all_systems(
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
 ) -> Dict[str, SimulationStats]:
-    """Simulate one application across many systems."""
-    return {
-        name: evaluate_application(name, application, gpu, fidelity) for name in systems
-    }
+    """Simulate one application across many systems (a one-row experiment plan)."""
+    from repro.runner.runner import active_runner
+    from repro.runner.spec import ExperimentSpec
+
+    profile = application if isinstance(application, ApplicationProfile) else get_application(application)
+    spec = ExperimentSpec(
+        systems=tuple(systems),
+        applications=(profile.name,),
+        fidelity=fidelity,
+        gpu=gpu,
+    )
+    result = active_runner().run_plan(spec)
+    return result.by_application(profile.name)
 
 
 def clear_caches() -> None:
-    """Drop all cached systems and results (used by tests)."""
-    _SYSTEM_CACHE.clear()
-    _RESULT_CACHE.clear()
+    """Drop the runner's in-process result layer (used by tests).
+
+    The on-disk cache is content-addressed and never stale, so only the
+    in-memory layer is cleared.
+    """
+    from repro.runner.runner import active_runner
+    from repro.workloads.generator import SHARED_TRACE_CACHE
+
+    active_runner().clear_memory_cache()
+    SHARED_TRACE_CACHE.clear()

@@ -8,7 +8,7 @@ from repro.workloads.applications import (
     WorkloadClass,
     get_application,
 )
-from repro.workloads.generator import TraceGenerator
+from repro.workloads.generator import SHARED_TRACE_CACHE, TraceCache, TraceGenerator
 from repro.workloads.synthetic import (
     hot_cold_trace,
     strided_trace,
@@ -23,6 +23,8 @@ __all__ = [
     "COMPUTE_BOUND_APPS",
     "MEMORY_BOUND_APPS",
     "MemoryTrace",
+    "SHARED_TRACE_CACHE",
+    "TraceCache",
     "TraceGenerator",
     "WorkloadClass",
     "get_application",

@@ -19,14 +19,29 @@ enough for fast simulation.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.workloads.applications import ApplicationProfile
 from repro.workloads.trace import MemoryTrace, TraceEntry
 
 BLOCK = 128
+
+
+def _stable_seed(seed: int, name: str, num_compute_sms: int) -> int:
+    """Derive a process-independent RNG seed.
+
+    ``hash()`` on strings is randomized per process (PYTHONHASHSEED), which
+    would make traces — and therefore every cached or parallel result —
+    irreproducible across processes.  A blake2b digest is stable everywhere.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{name}|{num_compute_sms}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
 
 
 @dataclass(frozen=True)
@@ -92,7 +107,7 @@ class TraceGenerator:
             raise ValueError("num_accesses must be non-negative")
         params = self.parameters(num_accesses)
         profile = self.profile
-        rng = random.Random((self.seed, profile.name, self.num_compute_sms).__hash__())
+        rng = random.Random(_stable_seed(self.seed, profile.name, self.num_compute_sms))
 
         entries: List[TraceEntry] = []
         if self._streaming_cursor is None:
@@ -126,3 +141,71 @@ class TraceGenerator:
     def iter_entries(self, num_accesses: int) -> Iterator[TraceEntry]:
         """Generate entries lazily (for very long traces)."""
         yield from self.generate(num_accesses)
+
+
+#: Key of one (warm-up, measurement) trace pair in the :class:`TraceCache`.
+_TraceKey = Tuple[ApplicationProfile, int, float, int, int, int]
+
+
+class TraceCache:
+    """LRU cache of generated (warm-up, measurement) trace pairs.
+
+    Different evaluated systems replay the *same* trace whenever they share
+    the (profile, compute-SM count, scale, seed, trace length) tuple — e.g.
+    BL vs. Morpheus at the same operating point, or repeated best-SM-count
+    searches across systems.  Generating traces is a visible fraction of a
+    short simulation, so the cache returns the previously generated pair.
+
+    The warm-up and measurement traces are generated back to back by one
+    generator and cached together because the streaming cursor persists
+    across ``generate()`` calls: the measurement trace's fresh streaming
+    addresses depend on the warm-up trace having been generated first.
+
+    Cached traces are treated as immutable; callers must not mutate them.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[_TraceKey, Tuple[MemoryTrace, MemoryTrace]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def traces(
+        self,
+        profile: ApplicationProfile,
+        num_compute_sms: int,
+        scale: float,
+        seed: int,
+        warmup_accesses: int,
+        trace_accesses: int,
+    ) -> Tuple[MemoryTrace, MemoryTrace]:
+        """Return the (warm-up, measurement) pair, generating it on a miss."""
+        key: _TraceKey = (
+            profile, num_compute_sms, scale, seed, warmup_accesses, trace_accesses,
+        )
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+
+        self.misses += 1
+        generator = TraceGenerator(
+            profile, num_compute_sms=num_compute_sms, scale=scale, seed=seed
+        )
+        warmup = generator.generate(warmup_accesses)
+        measurement = generator.generate(trace_accesses)
+        self._entries[key] = (warmup, measurement)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return warmup, measurement
+
+    def clear(self) -> None:
+        """Drop all cached traces (counters preserved)."""
+        self._entries.clear()
+
+
+SHARED_TRACE_CACHE = TraceCache()
+"""Process-wide trace cache shared by all simulators."""
