@@ -1,6 +1,6 @@
 """Figure 13: effect of hit/miss prediction on Morpheus-Basic execution time."""
 
-from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_once
+from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_scoring
 
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import format_table
@@ -24,7 +24,7 @@ def test_fig13_hit_miss_prediction(benchmark):
                 rows[app][predictor] = stats.normalized_execution_time(base)
         return rows
 
-    rows = run_once(benchmark, build)
+    rows = run_scoring(benchmark, build)
 
     table = [[app, row["none"], row["bloom"], row["perfect"]] for app, row in rows.items()]
     gmeans = {p: geometric_mean([row[p] for row in rows.values()]) for p in PREDICTORS}

@@ -1,6 +1,6 @@
 """Figure 2: effect of 2x and 4x conventional LLC sizes on memory-bound applications."""
 
-from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_once
+from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_scoring
 
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import format_table
@@ -22,7 +22,7 @@ def test_fig2_llc_scaling(benchmark):
             rows[app] = llc_scaling_speedups(sweep)
         return rows
 
-    rows = run_once(benchmark, build)
+    rows = run_scoring(benchmark, build)
 
     table_rows = [[app, row[1.0], row[2.0], row[4.0]] for app, row in rows.items()]
     gmean_2x = geometric_mean([row[2.0] for row in rows.values()])

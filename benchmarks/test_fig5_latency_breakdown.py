@@ -1,6 +1,6 @@
 """Figure 5: latency timelines of conventional and extended LLC hits and misses."""
 
-from conftest import run_once
+from conftest import run_scoring
 
 from repro.analysis.latency_breakdown import llc_latency_timelines
 from repro.analysis.report import format_table
@@ -8,7 +8,7 @@ from repro.analysis.report import format_table
 
 def test_fig5_latency_timelines(benchmark):
     """Regenerate the Figure 5 latency breakdown."""
-    timelines = run_once(benchmark, llc_latency_timelines)
+    timelines = run_scoring(benchmark, llc_latency_timelines)
 
     rows = [
         [name, breakdown.total_ns, " + ".join(f"{label}:{ns:.0f}" for label, ns in breakdown.segments)]

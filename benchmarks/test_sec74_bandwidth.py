@@ -1,6 +1,6 @@
 """§7.4: LLC throughput, interconnect load and off-chip bandwidth analysis."""
 
-from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_once
+from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_scoring
 
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import format_table
@@ -20,7 +20,7 @@ def test_sec74_llc_throughput_noc_and_offchip(benchmark):
             }
         return rows
 
-    rows = run_once(benchmark, build)
+    rows = run_scoring(benchmark, build)
 
     table = []
     llc_gain, noc_gain, dram_reduction, mpki_reduction = [], [], [], []

@@ -1,6 +1,6 @@
 """§7.5: storage and power overheads of the Morpheus controller."""
 
-from conftest import run_once
+from conftest import run_scoring
 
 from repro.analysis.overheads import compute_overheads
 from repro.analysis.report import format_table
@@ -8,7 +8,7 @@ from repro.analysis.report import format_table
 
 def test_sec75_storage_and_power_overheads(benchmark):
     """Regenerate the §7.5 overhead accounting (21 KiB per partition, <1 % power)."""
-    overheads = run_once(benchmark, compute_overheads)
+    overheads = run_scoring(benchmark, compute_overheads)
 
     rows = [
         ["Bloom filters / partition (KiB)", overheads.bloom_filter_bytes_per_partition / 1024],

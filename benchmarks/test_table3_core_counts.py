@@ -1,6 +1,6 @@
 """Table 3: number of GPU cores executing application threads per evaluated system."""
 
-from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_once
+from conftest import BENCH_FIDELITY, BENCH_MEMORY_BOUND, run_scoring
 
 from repro.analysis.report import format_table
 from repro.systems.registry import evaluate_application
@@ -23,7 +23,7 @@ def test_table3_compute_mode_core_counts(benchmark):
             }
         return rows
 
-    rows = run_once(benchmark, build)
+    rows = run_scoring(benchmark, build)
 
     table = [[app, row["IBL"], row["Morpheus-Basic"], row["Morpheus-ALL"]] for app, row in rows.items()]
     print("\n" + format_table(

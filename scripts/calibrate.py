@@ -3,6 +3,12 @@
 Used during development to tune the workload-model parameters in
 ``repro.workloads.applications`` so the reproduced figures match the paper's
 qualitative behaviour.  Not part of the library API.
+
+``--mlp-sensitivity`` additionally prints, per application, how the
+best-SM-count IPC reacts to an ``mlp_per_sm`` grid.  Those variants differ
+only in analytic parameters, so they are re-scored from the measurement
+tier of the cache — the flag adds **zero** trace replays on top of the
+Figure 1 sweep (the replay counter printed at the end proves it).
 """
 
 from __future__ import annotations
@@ -12,12 +18,15 @@ import os
 import time
 
 from repro.analysis.metrics import geometric_mean
+from repro.analysis.rescoring import DEFAULT_MLP_GRID, mlp_sweep
 from repro.analysis.sweep import (
     llc_scaling_speedups,
     llc_scaling_sweep,
     normalized_ipc_curve,
     sm_count_sweep,
+    sweep_config,
 )
+from repro.gpu.config import RTX3080_CONFIG
 from repro.runner import ExperimentRunner, using_runner
 from repro.systems.fidelity import Fidelity
 from repro.workloads.applications import APPLICATIONS, MEMORY_BOUND_APPS
@@ -42,6 +51,11 @@ def main() -> None:
         help="worker processes for the sweeps (default: all cores)",
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the on-disk result cache")
+    parser.add_argument(
+        "--mlp-sensitivity", action="store_true",
+        help="also print best-SM-count IPC over an mlp_per_sm grid "
+             "(re-scored from cached measurements; adds zero replays)",
+    )
     args = parser.parse_args()
 
     runner = ExperimentRunner(
@@ -56,6 +70,17 @@ def main() -> None:
             curve = normalized_ipc_curve(sweep)
             curve_text = " ".join(f"{c}:{v:.2f}" for c, v in curve.items())
             print(f"{name:>8s} fig1  {curve_text}")
+            if args.mlp_sensitivity:
+                best = max(sweep, key=lambda count: sweep[count].ipc)
+                grid = mlp_sweep(
+                    name, sweep_config(RTX3080_CONFIG, best, CAL_FIDELITY),
+                    DEFAULT_MLP_GRID,
+                )
+                grid_text = " ".join(
+                    f"{mlp:.0f}:{stats.ipc / sweep[best].ipc:.2f}"
+                    for mlp, stats in grid.items()
+                )
+                print(f"{name:>8s} mlp@{best:<3d}{grid_text}")
             if not args.skip_fig2 and name in MEMORY_BOUND_APPS:
                 scaling = llc_scaling_sweep(name, scale_factors=(1.0, 2.0, 4.0), fidelity=CAL_FIDELITY,
                                             sm_candidates=SM_POINTS)
@@ -66,7 +91,9 @@ def main() -> None:
         print(f"gmean 4x speedup: {geometric_mean(list(fig2_4x.values())):.2f}")
     cache = runner.disk_cache
     print(f"elapsed {time.time() - start:.0f}s  "
-          f"(cache {runner.cache_dir}: {cache.hits} hits, {cache.stores} stores)")
+          f"(cache {runner.cache_dir}: stats {cache.hits} hits / {cache.stores} stores, "
+          f"measurements {cache.replay_hits} hits / {cache.replay_stores} stores, "
+          f"{runner.replays} trace replays)")
 
 
 if __name__ == "__main__":

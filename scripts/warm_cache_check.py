@@ -1,0 +1,84 @@
+"""CI guard: a warm re-run of the example plan must not touch the replay tier.
+
+Runs a small Figure-12-style plan twice through two fresh
+:class:`~repro.runner.runner.ExperimentRunner` instances sharing one cache
+directory, then asserts the second pass
+
+* executed **zero** trace replays,
+* recorded **zero** misses in either cache tier, and
+* produced bit-identical results to the cold pass.
+
+Exits non-zero (with a diagnostic) if any of that regresses — e.g. a config
+field missing from ``REPLAY_FIELDS``/``SCORE_FIELDS``, a non-round-tripping
+measurement field, or a content key accidentally depending on process state.
+
+Usage::
+
+    PYTHONPATH=src python scripts/warm_cache_check.py [cache_dir]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import tempfile
+
+from repro.runner import ExperimentRunner, ExperimentSpec, using_runner
+from repro.systems.fidelity import FAST_FIDELITY
+
+SPEC = ExperimentSpec(
+    systems=("BL", "IBL", "Morpheus-Basic"),
+    applications=("kmeans", "spmv"),
+    fidelity=FAST_FIDELITY,
+)
+
+
+def run_pass(cache_dir: str):
+    runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+    with using_runner(runner):
+        result = runner.run_plan(SPEC)
+    return runner, result
+
+
+def main() -> int:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-warm-check-"
+    )
+    cold_runner, cold = run_pass(cache_dir)
+    print(
+        f"cold pass: {len(cold)} cells, {cold_runner.replays} replays, "
+        f"{cold_runner.disk_cache.replay_stores} measurements stored"
+    )
+    if cold_runner.replays == 0:
+        print("FAIL: cold pass replayed nothing — cache_dir was not cold?")
+        return 1
+
+    warm_runner, warm = run_pass(cache_dir)
+    cache = warm_runner.disk_cache
+    print(
+        f"warm pass: {len(warm)} cells, {warm_runner.replays} replays, "
+        f"replay tier {cache.replay_hits} hits / {cache.replay_misses} misses, "
+        f"stats tier {cache.hits} hits / {cache.misses} misses"
+    )
+
+    failures = []
+    if warm_runner.replays != 0:
+        failures.append(f"warm pass executed {warm_runner.replays} trace replays")
+    if cache.replay_misses != 0:
+        failures.append(f"warm pass had {cache.replay_misses} replay-tier misses")
+    if cache.misses != 0:
+        failures.append(f"warm pass had {cache.misses} stats-tier misses")
+    for cell, stats in cold:
+        if dataclasses.asdict(stats) != dataclasses.asdict(warm.results[cell]):
+            failures.append(f"cell {cell} differs between cold and warm passes")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: warm re-run served entirely from the cache, bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

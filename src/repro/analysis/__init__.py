@@ -1,4 +1,4 @@
-"""Analysis utilities: metrics, parameter sweeps, reports and overheads."""
+"""Analysis utilities: metrics, parameter sweeps, re-scoring, reports and overheads."""
 
 from repro.analysis.latency_breakdown import LatencyBreakdown, llc_latency_timelines
 from repro.analysis.metrics import (
@@ -9,19 +9,29 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.overheads import MorpheusOverheads, compute_overheads
 from repro.analysis.report import format_series, format_table
+from repro.analysis.rescoring import (
+    analytic_grid,
+    energy_sweep,
+    mlp_sweep,
+    peak_ipc_sweep,
+)
 from repro.analysis.sweep import llc_scaling_sweep, sm_count_sweep
 
 __all__ = [
     "LatencyBreakdown",
     "MorpheusOverheads",
+    "analytic_grid",
     "compute_overheads",
+    "energy_sweep",
     "format_series",
     "format_table",
     "geometric_mean",
     "llc_latency_timelines",
     "llc_scaling_sweep",
+    "mlp_sweep",
     "normalize",
     "normalized_series",
+    "peak_ipc_sweep",
     "sm_count_sweep",
     "speedup",
 ]

@@ -25,7 +25,7 @@ from repro.workloads.applications import ApplicationProfile, get_application
 FIGURE1_SM_COUNTS: Tuple[int, ...] = (10, 20, 30, 42, 50, 60, 68)
 
 
-def _sweep_config(
+def sweep_config(
     gpu: GPUConfig,
     num_compute_sms: int,
     fidelity: Fidelity,
@@ -33,6 +33,11 @@ def _sweep_config(
     system_name: str = "sweep",
     seed: int = 1,
 ) -> SimulationConfig:
+    """The config of one Figure-1-style sweep point.
+
+    Public so analytic re-scoring sweeps (:mod:`repro.analysis.rescoring`)
+    can address the very same replay keys the sweep populated.
+    """
     return SimulationConfig(
         gpu=gpu,
         num_compute_sms=num_compute_sms,
@@ -56,7 +61,7 @@ def sm_count_sweep(
     profile = application if isinstance(application, ApplicationProfile) else get_application(application)
     runner = runner or active_runner()
     counts = [count for count in sm_counts if count <= gpu.num_sms]
-    configs = [_sweep_config(gpu, count, fidelity) for count in counts]
+    configs = [sweep_config(gpu, count, fidelity) for count in counts]
     stats = runner.run_configs(profile, configs)
     return dict(zip(counts, stats))
 

@@ -22,6 +22,7 @@ the false-positive build-up from evicted blocks lingering in BF1.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Set
 
@@ -52,6 +53,15 @@ class PredictorStats:
         if self.predictions == 0:
             return 0.0
         return self.false_negatives / self.predictions
+
+    def to_jsonable(self) -> Dict[str, int]:
+        """Render the counters as a JSON-compatible field dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, int]) -> "PredictorStats":
+        """Rebuild stats from :meth:`to_jsonable` output (bit-identical)."""
+        return cls(**payload)
 
 
 class _SetPredictor:

@@ -1,11 +1,16 @@
-"""Parallel, disk-cached experiment execution.
+"""Parallel, disk-cached, two-phase experiment execution.
 
 This package is the single execution path for every simulation in the
 repository.  Describe a run matrix with :class:`ExperimentSpec`, expand it
 to an :class:`ExperimentPlan` of content-hash-keyed cells, and execute it
 with an :class:`ExperimentRunner` — worker processes share one
-content-addressed on-disk result cache, so re-running a plan (or any figure
-script that overlaps one) costs only JSON loads.
+content-addressed on-disk cache with two tiers: raw replay measurements
+(keyed by :meth:`RunSpec.replay_key`) and scored results (keyed by
+:meth:`RunSpec.score_key`).  Re-running a plan (or any figure script that
+overlaps one) costs only JSON loads, and re-scoring under different
+analytic parameters (MLP, peak IPC, energy constants — e.g. via
+``ExperimentRunner.score_many`` or :mod:`repro.analysis.rescoring`) hits
+the measurement tier and never re-replays a trace.
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -17,7 +22,8 @@ from repro.runner.runner import (
     using_runner,
 )
 from repro.runner.spec import (
-    RESULT_SCHEMA_VERSION,
+    REPLAY_SCHEMA_VERSION,
+    SCORE_SCHEMA_VERSION,
     ExperimentCell,
     ExperimentPlan,
     ExperimentSpec,
@@ -32,9 +38,10 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "ExperimentSpec",
-    "RESULT_SCHEMA_VERSION",
+    "REPLAY_SCHEMA_VERSION",
     "ResultCache",
     "RunSpec",
+    "SCORE_SCHEMA_VERSION",
     "active_runner",
     "content_hash",
     "set_active_runner",

@@ -1,0 +1,12 @@
+"""``python -m repro.runner`` — the cache maintenance CLI.
+
+Equivalent to ``python -m repro.runner.cache`` but without runpy's
+double-import ``RuntimeWarning`` (the package ``__init__`` imports
+``repro.runner.cache``, so running that submodule with ``-m`` executes its
+body twice).  See :func:`repro.runner.cache.main` for the commands.
+"""
+
+from repro.runner.cache import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

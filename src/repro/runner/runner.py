@@ -1,22 +1,36 @@
-"""Parallel, disk-cached execution of simulation plans.
+"""Parallel, disk-cached, two-phase execution of simulation plans.
 
 :class:`ExperimentRunner` is the single execution path for every simulation
-in the repository:
+in the repository.  Each leaf simulation runs in two content-addressed
+phases backed by the two tiers of the on-disk
+:class:`~repro.runner.cache.ResultCache` (plus in-process dict layers):
 
-* ``simulate`` runs one leaf (profile, config) pair through a two-level
-  cache: an in-process dict and the content-addressed on-disk
-  :class:`~repro.runner.cache.ResultCache`.
-* ``run_configs`` runs a batch of leaf configs for one profile, farming
-  cache misses out to a ``ProcessPoolExecutor`` (with a transparent serial
-  fallback when multiprocessing is unavailable or ``max_workers <= 1``).
+1. **Replay** — the functional hierarchy replay producing a
+   :class:`~repro.sim.performance_model.ReplayMeasurement`, cached under
+   :meth:`~repro.runner.spec.RunSpec.replay_key`.  This is the expensive,
+   deterministic phase; it runs **at most once per replay key**.
+2. **Score** — the pure analytic scoring of a measurement into
+   :class:`~repro.sim.stats.SimulationStats`, cached under
+   :meth:`~repro.runner.spec.RunSpec.score_key`.  Sweeping analytic
+   parameters (peak IPC, MLP, energy constants) only misses this cheap
+   tier — the measurement tier hits and no trace is re-replayed.
+
+* ``simulate`` runs one leaf (profile, config) pair through both phases.
+* ``run_configs`` / ``score_many`` run a batch of leaf configs for one
+  profile: score-tier misses are grouped by replay key, the missing
+  *replays* (not whole simulations) are farmed out to a
+  ``ProcessPoolExecutor`` (with a transparent serial fallback when
+  multiprocessing is unavailable or ``max_workers <= 1``), and scoring
+  happens in-process.
 * ``run_plan`` executes a declarative :class:`~repro.runner.spec.ExperimentSpec`
   / :class:`~repro.runner.spec.ExperimentPlan` cell matrix in parallel; each
   worker shares the same on-disk cache, so a warm re-run of a plan costs
   only JSON loads.
 
-Determinism: traces are seeded with process-independent hashes and every
-cell carries its own seed, so serial and parallel execution produce
-bit-identical :class:`~repro.sim.stats.SimulationStats`.
+Determinism: traces are seeded with process-independent hashes, every cell
+carries its own seed, and measurements round-trip JSON exactly, so serial
+and parallel execution — and direct runs vs cached-measurement re-scores —
+produce bit-identical :class:`~repro.sim.stats.SimulationStats`.
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from repro.energy.components import DEFAULT_ENERGIES
 from repro.energy.model import EnergyModel
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentCell, ExperimentPlan, ExperimentSpec, RunSpec
+from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
 from repro.sim.simulator import GPUSimulator, SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.workloads.applications import ApplicationProfile, get_application
@@ -131,9 +146,16 @@ class ExperimentRunner:
         self.max_workers = max_workers
         self.use_disk_cache = use_disk_cache
         self.disk_cache = ResultCache(cache_dir)
-        self.energy_model = energy_model
+        self._energy_model = energy_model
         self.memory_hits = 0
+        self.measurement_memory_hits = 0
+        #: Trace replays actually executed on behalf of this runner (serial
+        #: or via worker pools).  A warm-cache or analytic re-scoring pass
+        #: keeps this at zero.
+        self.replays = 0
         self._memory: Dict[str, SimulationStats] = {}
+        self._measurement_memory: Dict[str, ReplayMeasurement] = {}
+        self._performance_model = PerformanceModel(energy_model)
         self._cache_suspended = False
 
     # -- cache plumbing ---------------------------------------------------------------
@@ -143,9 +165,52 @@ class ExperimentRunner:
         """The on-disk cache directory path."""
         return str(self.disk_cache.directory)
 
+    @property
+    def energy_model(self) -> Optional[EnergyModel]:
+        """The energy model scoring uses.
+
+        Read-only: the scoring model and the score keys must agree on the
+        energy constants, so swapping models mid-life would poison the
+        shared cache.  Use :meth:`with_energy_model` to re-score under
+        different constants instead.
+        """
+        return self._energy_model
+
+    def with_energy_model(self, energy_model: Optional[EnergyModel]) -> "ExperimentRunner":
+        """A sibling runner scoring with ``energy_model`` but sharing caches.
+
+        The sibling shares this runner's on-disk cache object (both tiers,
+        including counters) and in-process layers, so re-scoring under
+        different energy constants is served from the measurement tier at
+        zero replay cost.  Used by :mod:`repro.analysis.rescoring`.
+        """
+        sibling = ExperimentRunner(
+            cache_dir=self.cache_dir,
+            max_workers=self.max_workers,
+            use_disk_cache=self.use_disk_cache,
+            energy_model=energy_model,
+        )
+        sibling.disk_cache = self.disk_cache
+        sibling._memory = self._memory
+        sibling._measurement_memory = self._measurement_memory
+        return sibling
+
     def clear_memory_cache(self) -> None:
-        """Drop the in-process result layer (the disk layer is untouched)."""
+        """Drop the in-process result/measurement layers (disk is untouched)."""
         self._memory.clear()
+        self._measurement_memory.clear()
+
+    def clear_scored_stats(self) -> None:
+        """Drop scored stats from every layer this runner uses, keeping measurements.
+
+        After this, the next run re-derives every result from cached
+        measurements — pure analytic scoring, zero replays.  Benchmarks use
+        it between timed rounds to time the scoring path.  The on-disk
+        stats tier is only touched when this runner actually uses it.
+        """
+        self._memory.clear()
+        if self.use_disk_cache:
+            self.disk_cache.prune(tier=self.disk_cache.STATS_TIER)
 
     @contextmanager
     def cache_bypassed(self) -> Iterator[None]:
@@ -176,6 +241,25 @@ class ExperimentRunner:
         if self.use_disk_cache:
             self.disk_cache.store(key, stats)
 
+    def _lookup_measurement(self, replay_key: str) -> Optional[ReplayMeasurement]:
+        if self._cache_suspended:
+            return None
+        cached = self._measurement_memory.get(replay_key)
+        if cached is not None:
+            self.measurement_memory_hits += 1
+            return cached
+        if self.use_disk_cache:
+            loaded = self.disk_cache.load_measurement(replay_key)
+            if loaded is not None:
+                self._measurement_memory[replay_key] = loaded
+                return loaded
+        return None
+
+    def _store_measurement(self, replay_key: str, measurement: ReplayMeasurement) -> None:
+        self._measurement_memory[replay_key] = measurement
+        if self.use_disk_cache:
+            self.disk_cache.store_measurement(replay_key, measurement)
+
     # -- leaf execution ---------------------------------------------------------------
 
     def _energies(self):
@@ -184,21 +268,43 @@ class ExperimentRunner:
             return self.energy_model.energies
         return DEFAULT_ENERGIES
 
-    def _leaf_key(
+    def _run_spec(
         self, profile: ApplicationProfile, config: SimulationConfig
-    ) -> str:
-        return RunSpec(profile, config, self._energies()).content_key()
+    ) -> RunSpec:
+        return RunSpec(profile, config, self._energies())
+
+    def _score(
+        self,
+        profile: ApplicationProfile,
+        config: SimulationConfig,
+        measurement: ReplayMeasurement,
+    ) -> SimulationStats:
+        """Phase 2: pure analytic scoring of one measurement."""
+        return self._performance_model.score(profile, config, measurement)
+
+    def _obtain_measurement(
+        self, profile: ApplicationProfile, config: SimulationConfig, replay_key: str
+    ) -> ReplayMeasurement:
+        """Phase 1: the measurement for ``replay_key``, replaying only on a miss."""
+        measurement = self._lookup_measurement(replay_key)
+        if measurement is None:
+            measurement = GPUSimulator(config).replay(profile)
+            self.replays += 1
+            self._store_measurement(replay_key, measurement)
+        return measurement
 
     def simulate(
         self, profile: ApplicationProfile, config: SimulationConfig
     ) -> SimulationStats:
-        """Run one leaf simulation through the cache."""
-        key = self._leaf_key(profile, config)
-        cached = self._lookup(key)
+        """Run one leaf simulation through the two-phase cache."""
+        run = self._run_spec(profile, config)
+        score_key = run.score_key()
+        cached = self._lookup(score_key)
         if cached is not None:
             return cached
-        stats = GPUSimulator(config, energy_model=self.energy_model).run(profile)
-        self._store(key, stats)
+        measurement = self._obtain_measurement(profile, config, run.replay_key())
+        stats = self._score(profile, config, measurement)
+        self._store(score_key, stats)
         return stats
 
     def run_configs(
@@ -207,34 +313,81 @@ class ExperimentRunner:
         configs: Sequence[SimulationConfig],
         parallel: bool = True,
     ) -> List[SimulationStats]:
-        """Run many configs for one profile, parallelizing cache misses."""
+        """Run many configs for one profile, parallelizing replay-tier misses.
+
+        Score-tier misses are grouped by replay key, so configs differing
+        only in analytic parameters share one replay; only the measurements
+        that are missing from both the in-process layer and the on-disk
+        measurement tier are farmed out to worker processes.  Scoring is
+        cheap and always happens in-process.
+        """
+        runs = [self._run_spec(profile, config) for config in configs]
+        score_keys = [run.score_key() for run in runs]
         results: List[Optional[SimulationStats]] = [None] * len(configs)
-        keys = [self._leaf_key(profile, config) for config in configs]
         pending: List[int] = []
-        for index, key in enumerate(keys):
+        for index, key in enumerate(score_keys):
             cached = self._lookup(key)
             if cached is not None:
                 results[index] = cached
             else:
                 pending.append(index)
 
-        workers = self._effective_workers(len(pending)) if parallel else 1
-        if pending and workers > 1:
-            jobs = [
-                (profile, configs[index], self.energy_model) for index in pending
-            ]
-            computed = self._pool_map(_leaf_worker, jobs, workers)
-        else:
-            computed = None
-        if computed is None:
-            computed = [
-                GPUSimulator(configs[index], energy_model=self.energy_model).run(profile)
-                for index in pending
-            ]
-        for index, stats in zip(pending, computed):
-            self._store(keys[index], stats)
-            results[index] = stats
+        if pending:
+            # One replay serves every pending analytic variant of its key.
+            replay_keys: Dict[int, str] = {}
+            by_replay: Dict[str, List[int]] = {}
+            for index in pending:
+                key = runs[index].replay_key()
+                replay_keys[index] = key
+                by_replay.setdefault(key, []).append(index)
+
+            measurements: Dict[str, ReplayMeasurement] = {}
+            missing: List[str] = []
+            for key in by_replay:
+                cached_measurement = self._lookup_measurement(key)
+                if cached_measurement is not None:
+                    measurements[key] = cached_measurement
+                else:
+                    missing.append(key)
+
+            workers = self._effective_workers(len(missing)) if parallel else 1
+            computed: Optional[List[ReplayMeasurement]] = None
+            if missing and workers > 1:
+                jobs = [(profile, configs[by_replay[key][0]]) for key in missing]
+                computed = self._pool_map(_replay_worker, jobs, workers)
+            if computed is None:
+                computed = [
+                    GPUSimulator(configs[by_replay[key][0]]).replay(profile)
+                    for key in missing
+                ]
+            for key, measurement in zip(missing, computed):
+                self.replays += 1
+                self._store_measurement(key, measurement)
+                measurements[key] = measurement
+
+            for index in pending:
+                stats = self._score(
+                    profile, configs[index], measurements[replay_keys[index]]
+                )
+                self._store(score_keys[index], stats)
+                results[index] = stats
         return [stats for stats in results if stats is not None]
+
+    def score_many(
+        self,
+        profile: ApplicationProfile,
+        configs: Sequence[SimulationConfig],
+        parallel: bool = True,
+    ) -> List[SimulationStats]:
+        """Batch re-scoring API: score many analytic variants of one profile.
+
+        Semantically identical to :meth:`run_configs` — named for the common
+        case where every config shares its replay inputs with an
+        already-replayed run (an MLP/peak-IPC/energy sweep), so the whole
+        batch is served from the measurement tier at zero replay cost.
+        Check :attr:`replays` afterwards to assert that no replay happened.
+        """
+        return self.run_configs(profile, configs, parallel=parallel)
 
     # -- plan execution ---------------------------------------------------------------
 
@@ -250,7 +403,15 @@ class ExperimentRunner:
                 (cell, plan.spec, self.cache_dir, self.use_disk_cache, self.energy_model)
                 for cell in plan.cells
             ]
-            computed = self._pool_map(_cell_worker, jobs, workers)
+            pooled = self._pool_map(_cell_worker, jobs, workers)
+            if pooled is not None:
+                # Workers count replays and cache hits/misses on their own
+                # runners; fold both back so this runner's `replays` and its
+                # cache's tier counters stay truthful under pooling.
+                computed = [stats for stats, _, _ in pooled]
+                self.replays += sum(replays for _, replays, _ in pooled)
+                for _, _, counters in pooled:
+                    self.disk_cache.absorb_counters(counters)
         if computed is None:
             computed = [self._execute_cell(cell, plan.spec) for cell in plan.cells]
         results = dict(zip(plan.cells, computed))
@@ -317,22 +478,29 @@ class ExperimentRunner:
             return None
 
 
-def _leaf_worker(
-    job: Tuple[ApplicationProfile, SimulationConfig, Optional[EnergyModel]]
-) -> SimulationStats:
-    """Worker-process entry point for one leaf simulation."""
-    profile, config, energy_model = job
-    return GPUSimulator(config, energy_model=energy_model).run(profile)
+def _replay_worker(
+    job: Tuple[ApplicationProfile, SimulationConfig]
+) -> ReplayMeasurement:
+    """Worker-process entry point for one trace replay (phase 1 only).
+
+    Scoring happens in the parent, so the worker needs no energy model and
+    ships back only the compact measurement.
+    """
+    profile, config = job
+    return GPUSimulator(config).replay(profile)
 
 
 def _cell_worker(
     job: Tuple[ExperimentCell, ExperimentSpec, str, bool, Optional[EnergyModel]]
-) -> SimulationStats:
+) -> Tuple[SimulationStats, int, Dict[str, int]]:
     """Worker-process entry point for one plan cell.
 
     Each worker installs its own serial runner pointed at the shared cache
     directory, so the leaf simulations behind a system evaluation (including
     SM-count searches) land in the same on-disk cache as the parent's.
+    Returns the cell's stats plus the worker's trace-replay count and cache
+    tier counters, which the parent folds into its own ``replays`` and
+    ``disk_cache`` counters.
     """
     cell, spec, cache_dir, use_disk_cache, energy_model = job
     runner = ExperimentRunner(
@@ -342,7 +510,8 @@ def _cell_worker(
         energy_model=energy_model,
     )
     set_active_runner(runner)
-    return runner._execute_cell(cell, spec)
+    stats = runner._execute_cell(cell, spec)
+    return stats, runner.replays, runner.disk_cache.tier_counters()
 
 
 # -- the process-wide runner ---------------------------------------------------------

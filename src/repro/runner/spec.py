@@ -3,10 +3,17 @@
 Three layers:
 
 * :class:`RunSpec` — one leaf simulation (an application profile under a
-  :class:`~repro.sim.simulator.SimulationConfig`).  Its content key is a
-  SHA-256 over a canonical JSON rendering of every profile and config field
-  plus the result-schema version, so the on-disk result cache invalidates
-  whenever any simulation input (or the stats schema) changes.
+  :class:`~repro.sim.simulator.SimulationConfig`).  It derives **two**
+  content keys, one per cache tier: :meth:`~RunSpec.replay_key` hashes the
+  replay-affecting inputs (profile, GPU, Morpheus config, SM split, trace
+  sizing, request interval, seed) plus :data:`REPLAY_SCHEMA_VERSION`, and
+  addresses cached :class:`~repro.sim.performance_model.ReplayMeasurement`
+  entries; :meth:`~RunSpec.score_key` extends the replay key with the
+  analytic scoring parameters (peak IPC, MLP, power gating, system label),
+  the energy constants and :data:`SCORE_SCHEMA_VERSION`, and addresses
+  cached scored :class:`~repro.sim.stats.SimulationStats`.  Changing an
+  analytic parameter therefore changes only the score key — the replay tier
+  still hits and no trace is re-replayed.
 * :class:`ExperimentCell` — one cell of a run matrix: a named evaluated
   system (or a fixed SM count) on one application with one seed.
 * :class:`ExperimentSpec` / :class:`ExperimentPlan` — the full matrix
@@ -29,10 +36,18 @@ from repro.sim.simulator import SimulationConfig
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
 from repro.workloads.applications import ApplicationProfile
 
-#: Version of the cached-result schema.  Bump whenever simulation behaviour
-#: or the :class:`~repro.sim.stats.SimulationStats` layout changes in a way
-#: that should invalidate previously cached results.
-RESULT_SCHEMA_VERSION = 1
+#: Version of the cached replay-measurement schema.  Bump whenever the
+#: functional replay behaviour (engine, trace generation, cache/controller
+#: models) or the :class:`~repro.sim.performance_model.ReplayMeasurement`
+#: layout changes — this invalidates both cache tiers, because score keys
+#: embed the replay key.
+REPLAY_SCHEMA_VERSION = 1
+
+#: Version of the cached scored-result schema.  Bump whenever the analytic
+#: scoring step (:class:`~repro.sim.performance_model.PerformanceModel`, the
+#: energy model) or the :class:`~repro.sim.stats.SimulationStats` layout
+#: changes — cached measurements stay valid and are merely re-scored.
+SCORE_SCHEMA_VERSION = 1
 
 
 def _jsonable(value: Any) -> Any:
@@ -70,16 +85,49 @@ class RunSpec:
     config: SimulationConfig
     energies: ComponentEnergies = DEFAULT_ENERGIES
 
-    def content_key(self) -> str:
-        """Stable content-hash key identifying this run's full input set."""
+    def replay_key(self) -> str:
+        """Content-hash key of the replay phase (addresses the measurement tier).
+
+        Covers only the replay-affecting inputs — profile, GPU, Morpheus
+        config, SM split, capacity scale, trace/warm-up sizing, request
+        interval and seed — plus :data:`REPLAY_SCHEMA_VERSION`.  Runs that
+        differ only in analytic scoring parameters share one replay key.
+
+        Memoized per instance: the canonical-JSON render of the profile and
+        replay params is the hot part of key derivation, and score keys and
+        the runner both need the replay key for every leaf.
+        """
+        cached = self.__dict__.get("_replay_key")
+        if cached is None:
+            cached = content_hash(
+                {
+                    "schema": REPLAY_SCHEMA_VERSION,
+                    "profile": self.profile,
+                    "replay": self.config.replay_params(),
+                }
+            )
+            object.__setattr__(self, "_replay_key", cached)
+        return cached
+
+    def score_key(self) -> str:
+        """Content-hash key of the scored result (addresses the stats tier).
+
+        Extends :meth:`replay_key` with the analytic parameters, the energy
+        constants and :data:`SCORE_SCHEMA_VERSION`, so any input change —
+        replay-affecting or analytic — addresses a different stats entry.
+        """
         return content_hash(
             {
-                "schema": RESULT_SCHEMA_VERSION,
-                "profile": self.profile,
-                "config": self.config,
+                "schema": SCORE_SCHEMA_VERSION,
+                "replay_key": self.replay_key(),
+                "score": self.config.score_params(),
                 "energies": self.energies,
             }
         )
+
+    def content_key(self) -> str:
+        """Alias for :meth:`score_key` (the full-input-set key)."""
+        return self.score_key()
 
 
 @dataclass(frozen=True)
@@ -176,7 +224,7 @@ class ExperimentPlan:
         """Stable content-hash key of the whole plan (spec + cells)."""
         return content_hash(
             {
-                "schema": RESULT_SCHEMA_VERSION,
+                "schema": (REPLAY_SCHEMA_VERSION, SCORE_SCHEMA_VERSION),
                 "spec": self.spec,
                 "cells": list(self.cells),
             }

@@ -9,6 +9,7 @@ average access latency, per-level bytes, interconnect load and DRAM traffic.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -76,6 +77,15 @@ class HierarchyCounters:
     def average_latency_cycles(self) -> float:
         """Average LLC-level access latency observed over the trace."""
         return self.total_latency_cycles / self.llc_accesses if self.llc_accesses else 0.0
+
+    def to_jsonable(self) -> Dict[str, float]:
+        """Render the counters as a JSON-compatible field dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, float]) -> "HierarchyCounters":
+        """Rebuild counters from :meth:`to_jsonable` output (bit-identical)."""
+        return cls(**payload)
 
 
 class MemoryHierarchyEngine:

@@ -14,7 +14,7 @@ and batched experiment execution cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.energy.model import EnergyModel
 from repro.sim.engine import HierarchyCounters
@@ -40,6 +40,35 @@ class ReplayMeasurement:
     counters: HierarchyCounters
     noc_average_latency_cycles: float = 0.0
     predictor: Optional["PredictorStats"] = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Render the measurement as JSON-compatible data.
+
+        The rendering round-trips exactly: floats survive JSON via repr, so
+        :meth:`from_jsonable` rebuilds a measurement whose score is
+        bit-identical to the original's.
+        """
+        return {
+            "counters": self.counters.to_jsonable(),
+            "noc_average_latency_cycles": self.noc_average_latency_cycles,
+            "predictor": (
+                self.predictor.to_jsonable() if self.predictor is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "ReplayMeasurement":
+        """Rebuild a measurement from :meth:`to_jsonable` output."""
+        from repro.core.hit_miss_predictor import PredictorStats
+
+        predictor = payload.get("predictor")
+        return cls(
+            counters=HierarchyCounters.from_jsonable(payload["counters"]),
+            noc_average_latency_cycles=payload["noc_average_latency_cycles"],
+            predictor=(
+                PredictorStats.from_jsonable(predictor) if predictor is not None else None
+            ),
+        )
 
 
 class PerformanceModel:

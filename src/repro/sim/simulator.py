@@ -18,8 +18,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.config import MorpheusConfig
 from repro.core.extended_llc import Compressibility
@@ -32,9 +33,38 @@ from repro.workloads.applications import ApplicationProfile
 from repro.workloads.generator import SHARED_TRACE_CACHE, TraceCache
 
 
+#: Config fields that determine the functional hierarchy replay (and hence
+#: the trace, the engine structures and the :class:`ReplayMeasurement`).
+REPLAY_FIELDS: Tuple[str, ...] = (
+    "gpu",
+    "morpheus",
+    "num_compute_sms",
+    "num_cache_sms",
+    "capacity_scale",
+    "trace_accesses",
+    "warmup_accesses",
+    "request_interval_cycles",
+    "seed",
+)
+
+#: Config fields consumed only by the analytic scoring step — changing one
+#: re-scores an existing measurement but never requires a new replay.
+SCORE_FIELDS: Tuple[str, ...] = (
+    "power_gate_unused",
+    "peak_warp_ipc_per_sm",
+    "mlp_per_sm",
+    "system_name",
+)
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Parameters of one simulation run.
+
+    Fields are partitioned into :data:`REPLAY_FIELDS` (inputs of the
+    functional hierarchy replay) and :data:`SCORE_FIELDS` (analytic
+    parameters of the scoring step only); :meth:`replay_params` /
+    :meth:`score_params` expose the two halves for content-key derivation.
 
     Attributes:
         gpu: GPU hardware configuration.
@@ -89,6 +119,26 @@ class SimulationConfig:
             raise ValueError("warmup_accesses must be non-negative")
         if self.request_interval_cycles <= 0:
             raise ValueError("request_interval_cycles must be positive")
+
+    def replay_params(self) -> Dict[str, Any]:
+        """The replay-affecting half of the config (see :data:`REPLAY_FIELDS`)."""
+        return {name: getattr(self, name) for name in REPLAY_FIELDS}
+
+    def score_params(self) -> Dict[str, Any]:
+        """The score-only analytic half of the config (see :data:`SCORE_FIELDS`)."""
+        return {name: getattr(self, name) for name in SCORE_FIELDS}
+
+
+# Every config field must be classified as replay-affecting or score-only;
+# an unclassified field would silently fall out of both content keys.
+_UNCLASSIFIED = {
+    f.name for f in dataclasses.fields(SimulationConfig)
+} - set(REPLAY_FIELDS) - set(SCORE_FIELDS)
+if _UNCLASSIFIED:  # pragma: no cover - import-time guard
+    raise RuntimeError(
+        f"SimulationConfig fields missing from REPLAY_FIELDS/SCORE_FIELDS: "
+        f"{sorted(_UNCLASSIFIED)}"
+    )
 
 
 class GPUSimulator:

@@ -35,8 +35,10 @@ class EvaluatedSystem(abc.ABC):
 
     All simulations route through the process-wide
     :class:`~repro.runner.runner.ExperimentRunner`, so every leaf run —
-    including the best-SM-count searches — is cached on disk and can be
-    executed by parallel workers.
+    including the best-SM-count searches — is cached on disk (replay
+    measurements and scored stats in separate tiers) and can be executed by
+    parallel workers; analytic-parameter changes re-score the search's
+    cached measurements instead of re-replaying its traces.
     """
 
     name: str = "system"

@@ -5,6 +5,11 @@ GPU cores to leave in compute mode per application; the remaining cores go to
 cache mode up to the 75 % cap, and anything beyond that is power-gated.
 Compute-bound applications keep every SM in compute mode, so Morpheus does
 not disturb them (Fig. 12).
+
+The search's candidate runs execute through the process-wide runner's
+two-phase pipeline, so each (compute, cache) split is replayed at most once
+per fidelity/seed; repeating a search under different analytic parameters
+re-scores the cached measurements at zero replay cost.
 """
 
 from __future__ import annotations

@@ -3,11 +3,14 @@
 Running a full Figure-12-style comparison means simulating 17 applications on
 nine systems, several of which search per-application operating points.  All
 of that work flows through the process-wide
-:class:`~repro.runner.runner.ExperimentRunner`, whose content-addressed
-on-disk cache replaces the fragile per-process memo dicts this module used to
-keep: every leaf simulation (including the runs behind a best-SM-count
-search) is cached by a hash of its full input set, shared between processes
-and between figures that overlap (e.g. Fig. 12 top and bottom, Table 3).
+:class:`~repro.runner.runner.ExperimentRunner`, whose two-tier
+content-addressed on-disk cache replaces the fragile per-process memo dicts
+this module used to keep: every leaf simulation (including the runs behind a
+best-SM-count search) stores its replay measurement under a replay key and
+its scored stats under a score key, shared between processes and between
+figures that overlap (e.g. Fig. 12 top and bottom, Table 3).  Re-running a
+search under different analytic parameters (MLP, peak IPC, energy constants)
+re-scores the cached measurements without replaying a single trace.
 """
 
 from __future__ import annotations

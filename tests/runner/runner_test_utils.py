@@ -1,0 +1,30 @@
+"""Shared helpers for the runner test suites (not collected by pytest)."""
+
+from __future__ import annotations
+
+from repro.sim.simulator import SimulationConfig
+from repro.systems.fidelity import Fidelity
+
+#: Tiny fidelity so each leaf simulation takes milliseconds.
+TINY_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 64.0,
+    trace_accesses=800,
+    warmup_accesses=200,
+    search_trace_accesses=400,
+    search_warmup_accesses=100,
+)
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    """A tiny-fidelity :class:`SimulationConfig` with per-test overrides."""
+    base = dict(
+        num_compute_sms=20,
+        power_gate_unused=True,
+        capacity_scale=TINY_FIDELITY.capacity_scale,
+        trace_accesses=TINY_FIDELITY.trace_accesses,
+        warmup_accesses=TINY_FIDELITY.warmup_accesses,
+        system_name="test",
+        seed=1,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)

@@ -20,32 +20,9 @@ from repro.runner import (
 )
 from repro.runner.cache import ResultCache, stats_from_jsonable, stats_to_jsonable
 from repro.sim.performance_model import PerformanceModel
-from repro.sim.simulator import GPUSimulator, SimulationConfig
-from repro.systems.fidelity import Fidelity
+from repro.sim.simulator import GPUSimulator
 from repro.workloads.generator import TraceCache
-
-#: Tiny fidelity so each leaf simulation takes milliseconds.
-TINY_FIDELITY = Fidelity(
-    capacity_scale=1.0 / 64.0,
-    trace_accesses=800,
-    warmup_accesses=200,
-    search_trace_accesses=400,
-    search_warmup_accesses=100,
-)
-
-
-def tiny_config(**overrides) -> SimulationConfig:
-    base = dict(
-        num_compute_sms=20,
-        power_gate_unused=True,
-        capacity_scale=TINY_FIDELITY.capacity_scale,
-        trace_accesses=TINY_FIDELITY.trace_accesses,
-        warmup_accesses=TINY_FIDELITY.warmup_accesses,
-        system_name="test",
-        seed=1,
-    )
-    base.update(overrides)
-    return SimulationConfig(**base)
+from runner_test_utils import TINY_FIDELITY, tiny_config
 
 
 @pytest.fixture
@@ -75,10 +52,31 @@ class TestContentKeys:
             != RunSpec(cfd_profile, config).content_key()
         )
 
-    def test_key_changes_with_schema_version(self, kmeans_profile, monkeypatch):
-        base = RunSpec(kmeans_profile, tiny_config()).content_key()
-        monkeypatch.setattr(spec_module, "RESULT_SCHEMA_VERSION", 999)
-        assert RunSpec(kmeans_profile, tiny_config()).content_key() != base
+    def test_key_changes_with_replay_schema_version(self, kmeans_profile, monkeypatch):
+        run = RunSpec(kmeans_profile, tiny_config())
+        base_replay = run.replay_key()
+        base_score = run.score_key()
+        monkeypatch.setattr(spec_module, "REPLAY_SCHEMA_VERSION", 999)
+        fresh = RunSpec(kmeans_profile, tiny_config())
+        # A replay-schema bump invalidates both tiers (score keys embed it).
+        assert fresh.replay_key() != base_replay
+        assert fresh.score_key() != base_score
+
+    def test_key_changes_with_score_schema_version(self, kmeans_profile, monkeypatch):
+        run = RunSpec(kmeans_profile, tiny_config())
+        base_replay = run.replay_key()
+        base_score = run.score_key()
+        monkeypatch.setattr(spec_module, "SCORE_SCHEMA_VERSION", 999)
+        fresh = RunSpec(kmeans_profile, tiny_config())
+        # A score-schema bump keeps cached measurements valid.
+        assert fresh.replay_key() == base_replay
+        assert fresh.score_key() != base_score
+
+    def test_analytic_params_share_replay_key(self, kmeans_profile):
+        base = RunSpec(kmeans_profile, tiny_config())
+        variant = RunSpec(kmeans_profile, tiny_config(mlp_per_sm=10.0))
+        assert variant.replay_key() == base.replay_key()
+        assert variant.score_key() != base.score_key()
 
 
 class TestResultCache:
