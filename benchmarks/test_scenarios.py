@@ -1,0 +1,49 @@
+"""Scenario engine: phase-lowering hot path and warm timeline aggregation.
+
+Unlike the figure benchmarks, the interesting cost here is not the (cached)
+leaf simulations but the scenario bookkeeping itself: policy planning plus
+config construction (``ScenarioEngine.lower``) runs once per (timeline,
+system, policy) and scales with the phase count, so a large fleet of
+timeline experiments pays it constantly.  The second benchmark times a full
+warm-cache timeline run — lowering plus cache lookups plus aggregation —
+which is what a re-scored scenario study costs per timeline.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_FIDELITY, run_scoring
+
+from repro.analysis.scenarios import time_weighted_ipc, transition_overheads
+from repro.scenarios import DynamicCapacityManager, ScenarioEngine, ramp
+
+#: A long diurnal timeline (2 * 24 - 1 = 47 phases) stresses per-phase work.
+LOWERING_SCENARIO = ramp(application="kmeans", low_sms=10, high_sms=60, steps=24)
+
+#: A short timeline for the end-to-end warm-run benchmark.
+RUN_SCENARIO = ramp(application="kmeans", low_sms=24, high_sms=60, steps=3)
+
+
+def test_scenario_phase_lowering(benchmark):
+    """Time lowering a 47-phase diurnal timeline to leaf configs (pure)."""
+    engine = ScenarioEngine(fidelity=BENCH_FIDELITY)
+    policy = DynamicCapacityManager(hysteresis_sms=2)
+
+    lowered = benchmark(lambda: engine.lower(LOWERING_SCENARIO, "Morpheus-ALL", policy))
+
+    assert len(lowered) == len(LOWERING_SCENARIO)
+    # The ramp hands capacity back on every ascending step: the dynamic
+    # manager must charge at least one non-zero transition.
+    assert any(not leaf.decision.transition.is_zero for leaf in lowered)
+
+
+def test_scenario_warm_timeline_run(benchmark):
+    """Time a warm-cache timeline run (lowering + scoring path + aggregation)."""
+    engine = ScenarioEngine(fidelity=BENCH_FIDELITY)
+
+    result = run_scoring(
+        benchmark, lambda: engine.run(RUN_SCENARIO, "Morpheus-Basic")
+    )
+
+    assert len(result) == len(RUN_SCENARIO)
+    assert time_weighted_ipc(result) > 0
+    assert transition_overheads(result).transitions > 0

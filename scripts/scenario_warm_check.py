@@ -1,0 +1,128 @@
+"""CI guard for the scenario engine: transition costs + warm-cache behaviour.
+
+Runs a tiny bursty timeline (and a steady reference) on Morpheus-Basic
+through two fresh runners sharing one cache directory, then asserts the
+scenario contract:
+
+* the dynamic capacity manager pays a **measurable** flush/warm-up
+  transition cost on the bursty timeline and **zero** on the steady one;
+* a repeated-phase timeline replays each distinct phase at most once;
+* the warm second run executes **zero** trace replays, records **zero**
+  misses in either cache tier, and is bit-identical to the cold run.
+
+Exits non-zero with a diagnostic if any of that regresses — e.g. phase
+lowering keying on process state, a transition cost leaking into the leaf
+configs (which would fork replay keys), or scenario aggregation becoming
+nondeterministic.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scenario_warm_check.py [cache_dir]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import tempfile
+
+from repro.runner import ExperimentRunner, using_runner
+from repro.scenarios import ScenarioEngine, bursty, steady
+from repro.systems.fidelity import Fidelity
+
+FIDELITY = Fidelity(
+    capacity_scale=1.0 / 32.0,
+    trace_accesses=4_000,
+    warmup_accesses=1_500,
+    search_trace_accesses=2_000,
+    search_warmup_accesses=750,
+)
+
+BURSTY = bursty(bursts=2)
+STEADY = steady(application="kmeans", compute_sms=24)
+SYSTEM = "Morpheus-Basic"
+
+
+def run_pass(cache_dir: str):
+    runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+    engine = ScenarioEngine(runner=runner, fidelity=FIDELITY)
+    with using_runner(runner):
+        burst_run = engine.run(BURSTY, SYSTEM)
+        steady_run = engine.run(STEADY, SYSTEM)
+    return runner, burst_run, steady_run
+
+
+def snapshot(result) -> list:
+    """A comparable rendering of one timeline run (stats + cycle accounting)."""
+    return [
+        (
+            execution.index,
+            dataclasses.asdict(execution.stats),
+            dataclasses.asdict(execution.decision.transition),
+            execution.instructions,
+            execution.compute_cycles,
+        )
+        for execution in result.phases
+    ]
+
+
+def main() -> int:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-scenario-check-"
+    )
+    cold_runner, cold_burst, cold_steady = run_pass(cache_dir)
+    unique_phases = len({id(e.stats) for e in cold_burst.phases})
+    print(
+        f"cold pass: {len(cold_burst)}+{len(cold_steady)} phases, "
+        f"{cold_runner.replays} replays, "
+        f"bursty transition cycles {cold_burst.transition_cycles:,.0f}"
+    )
+
+    failures = []
+    if cold_runner.replays == 0:
+        failures.append("cold pass replayed nothing — cache_dir was not cold?")
+    # The bursty timeline has 5 phases but only 2 distinct splits; the
+    # steady one has 4 identical phases sharing one of them.
+    if cold_runner.replays > len({e.stats.num_cache_sms for e in cold_burst.phases}) + 1:
+        failures.append(
+            f"cold pass replayed {cold_runner.replays} traces for "
+            f"{unique_phases} distinct phases — repeated phases re-replayed"
+        )
+    if cold_burst.transition_cycles <= 0:
+        failures.append("dynamic policy paid no transition cost on the bursty timeline")
+    if cold_steady.transition_cycles != 0:
+        failures.append(
+            f"steady timeline paid {cold_steady.transition_cycles} transition cycles"
+        )
+
+    warm_runner, warm_burst, warm_steady = run_pass(cache_dir)
+    cache = warm_runner.disk_cache
+    print(
+        f"warm pass: {warm_runner.replays} replays, "
+        f"replay tier {cache.replay_hits} hits / {cache.replay_misses} misses, "
+        f"stats tier {cache.hits} hits / {cache.misses} misses"
+    )
+    if warm_runner.replays != 0:
+        failures.append(f"warm pass executed {warm_runner.replays} trace replays")
+    if cache.replay_misses != 0:
+        failures.append(f"warm pass had {cache.replay_misses} replay-tier misses")
+    if cache.misses != 0:
+        failures.append(f"warm pass had {cache.misses} stats-tier misses")
+    if snapshot(cold_burst) != snapshot(warm_burst):
+        failures.append("bursty timeline differs between cold and warm passes")
+    if snapshot(cold_steady) != snapshot(warm_steady):
+        failures.append("steady timeline differs between cold and warm passes")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "OK: bursty timeline pays transition costs, steady pays none, "
+        "warm re-run served entirely from the cache, bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

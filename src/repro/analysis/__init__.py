@@ -1,4 +1,4 @@
-"""Analysis utilities: metrics, parameter sweeps, re-scoring, reports and overheads."""
+"""Analysis utilities: metrics, sweeps, re-scoring, scenarios, reports and overheads."""
 
 from repro.analysis.latency_breakdown import LatencyBreakdown, llc_latency_timelines
 from repro.analysis.metrics import (
@@ -15,12 +15,22 @@ from repro.analysis.rescoring import (
     mlp_sweep,
     peak_ipc_sweep,
 )
+from repro.analysis.scenarios import (
+    TransitionOverheads,
+    compare_runs,
+    phase_table,
+    scenario_energy_j,
+    time_weighted_ipc,
+    transition_overheads,
+)
 from repro.analysis.sweep import llc_scaling_sweep, sm_count_sweep
 
 __all__ = [
     "LatencyBreakdown",
     "MorpheusOverheads",
+    "TransitionOverheads",
     "analytic_grid",
+    "compare_runs",
     "compute_overheads",
     "energy_sweep",
     "format_series",
@@ -32,6 +42,10 @@ __all__ = [
     "normalize",
     "normalized_series",
     "peak_ipc_sweep",
+    "phase_table",
+    "scenario_energy_j",
     "sm_count_sweep",
     "speedup",
+    "time_weighted_ipc",
+    "transition_overheads",
 ]

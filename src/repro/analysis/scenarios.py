@@ -1,0 +1,190 @@
+"""Scenario-level analysis: timeline aggregates over per-phase leaf results.
+
+A :class:`~repro.scenarios.engine.ScenarioRunResult` holds one scored leaf
+per phase plus the transition costs charged between phases; this module
+turns that into the timeline-level numbers the scenario studies report:
+
+* :func:`time_weighted_ipc` — instructions retired over *all* cycles,
+  including reconfiguration stalls, so transition costs show up as lost
+  throughput;
+* :func:`scenario_energy_j` — per-phase energy scaled to each phase's share
+  of the timeline, plus the DRAM energy of flush writebacks and warm-up
+  fills;
+* :func:`transition_overheads` — the flush/warm-up breakdown and its share
+  of the timeline;
+* :func:`phase_table` / :func:`compare_runs` — human-readable reports.
+
+Everything here is pure post-processing of already-cached leaf results:
+re-running an analysis never touches the replay tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.report import format_table
+from repro.energy.components import ComponentEnergies, DEFAULT_ENERGIES
+from repro.scenarios.engine import ScenarioRunResult
+
+_PJ_TO_J = 1e-12
+
+
+@dataclass(frozen=True)
+class TransitionOverheads:
+    """Aggregate reconfiguration costs of one timeline run.
+
+    Attributes:
+        transitions: Phase boundaries that did reconfiguration work.
+        flush_cycles: Total cycles draining dirty extended-LLC data.
+        warmup_cycles: Total cycles re-warming grown capacity.
+        flushed_dirty_bytes: Dirty bytes written back to DRAM.
+        warmup_fill_bytes: Bytes streamed from DRAM during warm-ups.
+        dram_energy_j: DRAM energy of that transition traffic.
+        overhead_fraction: Share of the timeline's total cycles lost to
+            transitions (0 for static policies and steady timelines).
+    """
+
+    transitions: int
+    flush_cycles: float
+    warmup_cycles: float
+    flushed_dirty_bytes: float
+    warmup_fill_bytes: float
+    dram_energy_j: float
+    overhead_fraction: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Total reconfiguration stall in core cycles."""
+        return self.flush_cycles + self.warmup_cycles
+
+
+def time_weighted_ipc(result: ScenarioRunResult) -> float:
+    """Timeline IPC: total instructions over total cycles (with transitions).
+
+    Equivalent to the duration-weighted harmonic mean of the per-phase IPCs,
+    degraded by reconfiguration stalls — the honest "what did the timeline
+    actually deliver" number.
+    """
+    if result.total_cycles <= 0:
+        return 0.0
+    return result.total_instructions / result.total_cycles
+
+
+def transition_overheads(
+    result: ScenarioRunResult,
+    energies: ComponentEnergies = DEFAULT_ENERGIES,
+) -> TransitionOverheads:
+    """Aggregate the flush/warm-up costs of one timeline run."""
+    transitions = 0
+    flush_cycles = 0.0
+    warmup_cycles = 0.0
+    flushed = 0.0
+    filled = 0.0
+    for execution in result.phases:
+        cost = execution.decision.transition
+        if cost.is_zero:
+            continue
+        transitions += 1
+        flush_cycles += cost.flush_cycles
+        warmup_cycles += cost.warmup_cycles
+        flushed += cost.flushed_dirty_bytes
+        filled += cost.warmup_fill_bytes
+    total = result.total_cycles
+    return TransitionOverheads(
+        transitions=transitions,
+        flush_cycles=flush_cycles,
+        warmup_cycles=warmup_cycles,
+        flushed_dirty_bytes=flushed,
+        warmup_fill_bytes=filled,
+        dram_energy_j=(flushed + filled) * energies.dram_pj_per_byte * _PJ_TO_J,
+        overhead_fraction=(flush_cycles + warmup_cycles) / total if total > 0 else 0.0,
+    )
+
+
+def scenario_energy_j(
+    result: ScenarioRunResult,
+    energies: ComponentEnergies = DEFAULT_ENERGIES,
+) -> float:
+    """Total timeline energy in joules.
+
+    Each phase's leaf energy (computed for the application's full
+    instruction count) is scaled linearly to the phase's share of the
+    timeline — energy is proportional to instructions at a fixed IPC and
+    split — and the DRAM energy of transition traffic is added on top.
+    Static power during the (comparatively short) transition stalls is
+    neglected.
+    """
+    total = 0.0
+    for execution in result.phases:
+        breakdown = execution.stats.energy
+        if breakdown is None or execution.stats.instructions <= 0:
+            continue
+        scale = execution.instructions / execution.stats.instructions
+        total += breakdown.total_j * scale
+    return total + transition_overheads(result, energies).dram_energy_j
+
+
+def phase_table(result: ScenarioRunResult) -> str:
+    """Per-phase report of one timeline run (splits, IPC, transition stalls)."""
+    rows = []
+    for execution in result.phases:
+        split = execution.decision.split
+        cost = execution.decision.transition
+        rows.append(
+            [
+                execution.index,
+                execution.phase.label or execution.phase.application,
+                execution.phase.application,
+                execution.phase.compute_sm_demand,
+                split.num_compute_sms,
+                split.num_cache_sms,
+                split.num_gated_sms,
+                execution.stats.ipc,
+                execution.compute_cycles,
+                cost.total_cycles,
+            ]
+        )
+    title = (
+        f"Scenario {result.scenario.name!r} on {result.system} "
+        f"({result.policy_name} policy):"
+    )
+    return format_table(
+        [
+            "phase", "label", "app", "demand",
+            "compute", "cache", "gated",
+            "IPC", "cycles", "transition",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def compare_runs(
+    results: Mapping[str, ScenarioRunResult],
+    energies: ComponentEnergies = DEFAULT_ENERGIES,
+) -> str:
+    """Side-by-side timeline comparison (one row per labelled run)."""
+    rows = []
+    for label, result in results.items():
+        overheads = transition_overheads(result, energies)
+        rows.append(
+            [
+                label,
+                result.system,
+                result.policy_name,
+                time_weighted_ipc(result),
+                result.total_cycles,
+                overheads.total_cycles,
+                f"{overheads.overhead_fraction:.3%}",
+                scenario_energy_j(result, energies),
+            ]
+        )
+    return format_table(
+        [
+            "run", "system", "policy", "tw-IPC",
+            "total cycles", "transition cycles", "overhead", "energy (J)",
+        ],
+        rows,
+        title="Timeline comparison:",
+    )

@@ -15,6 +15,7 @@ the measurement tier and never re-replays a trace.
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.runner import (
+    CACHE_MAX_BYTES_ENV,
     ExperimentResult,
     ExperimentRunner,
     active_runner,
@@ -32,6 +33,7 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "CACHE_MAX_BYTES_ENV",
     "DEFAULT_CACHE_DIR",
     "ExperimentCell",
     "ExperimentPlan",

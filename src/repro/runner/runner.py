@@ -58,6 +58,12 @@ WORKERS_ENV = "REPRO_RUNNER_WORKERS"
 #: Environment variable disabling the on-disk cache when set to ``0``.
 DISK_CACHE_ENV = "REPRO_DISK_CACHE"
 
+#: Environment variable capping the on-disk cache size in bytes.  When set,
+#: the runner applies the LRU-by-mtime prune after each completed plan or
+#: scenario run (the same cap ``python -m repro.runner prune --max-bytes``
+#: applies manually).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
 
 @dataclass
 class ExperimentResult:
@@ -80,8 +86,9 @@ class ExperimentResult:
         application: str,
         seed: Optional[int] = None,
         sm_count: Optional[int] = None,
+        predictor: Optional[str] = None,
     ) -> SimulationStats:
-        """The stats of one cell (seed/sm_count may be omitted when unambiguous)."""
+        """The stats of one cell (filters may be omitted when unambiguous)."""
         matches = [
             stats
             for cell, stats in self.results.items()
@@ -89,12 +96,14 @@ class ExperimentResult:
             and cell.application == application
             and (seed is None or cell.seed == seed)
             and (sm_count is None or cell.sm_count == sm_count)
+            and (predictor is None or cell.predictor == predictor)
         ]
         if not matches:
             raise KeyError(f"no result for ({system!r}, {application!r})")
         if len(matches) > 1:
             raise KeyError(
-                f"({system!r}, {application!r}) is ambiguous; pass seed/sm_count"
+                f"({system!r}, {application!r}) is ambiguous; "
+                "pass seed/sm_count/predictor"
             )
         return matches[0]
 
@@ -212,6 +221,34 @@ class ExperimentRunner:
         if self.use_disk_cache:
             self.disk_cache.prune(tier=self.disk_cache.STATS_TIER)
 
+    def maybe_auto_prune(self) -> int:
+        """Apply the ``$REPRO_CACHE_MAX_BYTES`` size cap, if one is configured.
+
+        Called after each completed plan or scenario run, so long-lived
+        experiment campaigns keep the cache bounded without anyone having to
+        schedule ``python -m repro.runner prune`` manually.  Evicts
+        least-recently-modified entries first (both tiers); returns the
+        number of files removed (0 when the variable is unset, unparsable
+        or the disk cache is disabled).
+        """
+        if not self.use_disk_cache:
+            return 0
+        raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            max_bytes = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring unparsable {CACHE_MAX_BYTES_ENV}={raw!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+        if max_bytes < 0:
+            return 0
+        return self.disk_cache.prune(max_bytes=max_bytes)
+
     @contextmanager
     def cache_bypassed(self) -> Iterator[None]:
         """Context manager: recompute results, but still store them."""
@@ -321,9 +358,24 @@ class ExperimentRunner:
         measurement tier are farmed out to worker processes.  Scoring is
         cheap and always happens in-process.
         """
-        runs = [self._run_spec(profile, config) for config in configs]
+        return self.run_leaves([(profile, config) for config in configs], parallel)
+
+    def run_leaves(
+        self,
+        leaves: Sequence[Tuple[ApplicationProfile, SimulationConfig]],
+        parallel: bool = True,
+    ) -> List[SimulationStats]:
+        """Run many (profile, config) leaves in one replay-pooled batch.
+
+        The general form of :meth:`run_configs`: leaves may mix profiles
+        (a multi-application scenario timeline), and all replay-tier misses
+        across the whole batch share one worker pool — no per-profile
+        serialization.  Replay keys embed the profile, so grouping by key
+        never conflates applications.
+        """
+        runs = [self._run_spec(profile, config) for profile, config in leaves]
         score_keys = [run.score_key() for run in runs]
-        results: List[Optional[SimulationStats]] = [None] * len(configs)
+        results: List[Optional[SimulationStats]] = [None] * len(leaves)
         pending: List[int] = []
         for index, key in enumerate(score_keys):
             cached = self._lookup(key)
@@ -353,12 +405,11 @@ class ExperimentRunner:
             workers = self._effective_workers(len(missing)) if parallel else 1
             computed: Optional[List[ReplayMeasurement]] = None
             if missing and workers > 1:
-                jobs = [(profile, configs[by_replay[key][0]]) for key in missing]
+                jobs = [leaves[by_replay[key][0]] for key in missing]
                 computed = self._pool_map(_replay_worker, jobs, workers)
             if computed is None:
                 computed = [
-                    GPUSimulator(configs[by_replay[key][0]]).replay(profile)
-                    for key in missing
+                    _replay_worker(leaves[by_replay[key][0]]) for key in missing
                 ]
             for key, measurement in zip(missing, computed):
                 self.replays += 1
@@ -366,8 +417,9 @@ class ExperimentRunner:
                 measurements[key] = measurement
 
             for index in pending:
+                profile, config = leaves[index]
                 stats = self._score(
-                    profile, configs[index], measurements[replay_keys[index]]
+                    profile, config, measurements[replay_keys[index]]
                 )
                 self._store(score_keys[index], stats)
                 results[index] = stats
@@ -415,6 +467,7 @@ class ExperimentRunner:
         if computed is None:
             computed = [self._execute_cell(cell, plan.spec) for cell in plan.cells]
         results = dict(zip(plan.cells, computed))
+        self.maybe_auto_prune()
         return ExperimentResult(
             plan=plan,
             results=results,
@@ -447,7 +500,12 @@ class ExperimentRunner:
         # this runner so their leaf runs use this cache and energy model.
         with using_runner(self):
             return evaluate_application(
-                cell.system, profile, spec.gpu, spec.fidelity, seed=cell.seed
+                cell.system,
+                profile,
+                spec.gpu,
+                spec.fidelity,
+                seed=cell.seed,
+                predictor=cell.predictor,
             )
 
     # -- worker-pool plumbing ---------------------------------------------------------

@@ -139,12 +139,19 @@ class ExperimentCell:
     searches).  A concrete ``sm_count`` instead requests a direct power-gated
     run at that compute-SM count, labelled with ``system`` — the mode the
     Figure-1/2 sweeps use.
+
+    ``predictor`` overrides the Morpheus hit/miss-predictor flavour for the
+    cell (``"bloom"``, ``"none"``, ``"perfect"`` — the Figure 13 axis);
+    ``None`` keeps each system's default.  Only named Morpheus systems have
+    a predictor, so the spec's predictor axis fans out Morpheus cells and
+    leaves other systems at ``None``.
     """
 
     system: str
     application: str
     seed: int = 1
     sm_count: Optional[int] = None
+    predictor: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -161,6 +168,12 @@ class ExperimentSpec:
         seeds: Trace-generation seeds; each seed is an independent cell.
         sm_counts: ``None`` for named-system evaluation, or explicit compute
             SM counts for sweep-style direct runs.
+        predictors: ``None`` keeps each system's default hit/miss predictor;
+            a tuple of flavours (``"bloom"``, ``"none"``, ``"perfect"``)
+            fans every *Morpheus* system out across them (the Figure 13
+            axis).  Non-Morpheus systems have no predictor and get a single
+            default cell regardless.  Incompatible with ``sm_counts``
+            (direct sweeps run without a Morpheus controller).
     """
 
     systems: Tuple[str, ...]
@@ -169,6 +182,7 @@ class ExperimentSpec:
     gpu: GPUConfig = RTX3080_CONFIG
     seeds: Tuple[int, ...] = (1,)
     sm_counts: Optional[Tuple[int, ...]] = None
+    predictors: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         # Accept any sequences and normalize to tuples so specs stay hashable.
@@ -177,12 +191,28 @@ class ExperimentSpec:
         object.__setattr__(self, "seeds", tuple(self.seeds))
         if self.sm_counts is not None:
             object.__setattr__(self, "sm_counts", tuple(self.sm_counts))
+        if self.predictors is not None:
+            object.__setattr__(self, "predictors", tuple(self.predictors))
         if not self.systems:
             raise ValueError("an experiment needs at least one system")
         if not self.applications:
             raise ValueError("an experiment needs at least one application")
         if not self.seeds:
             raise ValueError("an experiment needs at least one seed")
+        if self.predictors is not None and not self.predictors:
+            raise ValueError("predictors must be None or a non-empty tuple")
+        if self.predictors is not None and self.sm_counts is not None:
+            raise ValueError(
+                "the predictor axis applies to named Morpheus systems; "
+                "direct sm_counts sweeps run without a Morpheus controller"
+            )
+        if self.predictors is not None:
+            for system in self.systems:
+                if system.startswith("Morpheus") and "(" in system:
+                    raise ValueError(
+                        f"system {system!r} already names a predictor; "
+                        "use the bare variant name with the predictors axis"
+                    )
 
     def expand(self) -> "ExperimentPlan":
         """Expand the matrix into one :class:`ExperimentCell` per run."""
@@ -191,19 +221,26 @@ class ExperimentSpec:
             (None,) if self.sm_counts is None else self.sm_counts
         )
         for system in self.systems:
+            predictors: Sequence[Optional[str]] = (
+                self.predictors
+                if self.predictors is not None and system.startswith("Morpheus")
+                else (None,)
+            )
             for application in self.applications:
                 for seed in self.seeds:
                     for sm_count in sm_counts:
                         if sm_count is not None and sm_count > self.gpu.num_sms:
                             continue
-                        cells.append(
-                            ExperimentCell(
-                                system=system,
-                                application=application,
-                                seed=seed,
-                                sm_count=sm_count,
+                        for predictor in predictors:
+                            cells.append(
+                                ExperimentCell(
+                                    system=system,
+                                    application=application,
+                                    seed=seed,
+                                    sm_count=sm_count,
+                                    predictor=predictor,
+                                )
                             )
-                        )
         return ExperimentPlan(spec=self, cells=tuple(cells))
 
 

@@ -1,0 +1,70 @@
+"""Dynamic scenarios: multi-phase workload timelines with time-varying idle SMs.
+
+Describe a timeline with :class:`ScenarioSpec` (or pick one from
+:data:`SCENARIO_LIBRARY`), choose a capacity policy — the
+:class:`DynamicCapacityManager` grows/shrinks the extended LLC with each
+phase's idle capacity and charges flush/warm-up transition costs, while
+:class:`FixedSplitPolicy` models the offline static split — and execute the
+whole timeline with a :class:`ScenarioEngine`.  Every phase lowers to an
+ordinary :class:`~repro.runner.spec.RunSpec` leaf, so scenario runs share
+the two-phase replay/score cache with everything else in the repository.
+
+Scenario-level analysis (time-weighted IPC, energy, transition overheads,
+per-phase tables) lives in :mod:`repro.analysis.scenarios`.
+"""
+
+from repro.scenarios.engine import (
+    LoweredPhase,
+    PhaseExecution,
+    SCENARIO_SYSTEMS,
+    ScenarioEngine,
+    ScenarioRunResult,
+)
+from repro.scenarios.library import (
+    SCENARIO_LIBRARY,
+    bursty,
+    corun_pair,
+    get_scenario,
+    ramp,
+    steady,
+)
+from repro.scenarios.policy import (
+    CapacityPolicy,
+    DynamicCapacityManager,
+    FixedSplitPolicy,
+    NO_TRANSITION,
+    PhaseDecision,
+    TransitionCost,
+    TransitionCostModel,
+    max_cache_mode_sms,
+)
+from repro.scenarios.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioPhase,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "CapacityPolicy",
+    "DynamicCapacityManager",
+    "FixedSplitPolicy",
+    "LoweredPhase",
+    "NO_TRANSITION",
+    "PhaseDecision",
+    "PhaseExecution",
+    "SCENARIO_LIBRARY",
+    "SCENARIO_SCHEMA_VERSION",
+    "SCENARIO_SYSTEMS",
+    "ScenarioEngine",
+    "ScenarioPhase",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "TransitionCost",
+    "TransitionCostModel",
+    "bursty",
+    "corun_pair",
+    "get_scenario",
+    "max_cache_mode_sms",
+    "ramp",
+    "steady",
+]

@@ -1,0 +1,366 @@
+"""The scenario engine: lowering timelines to leaf runs and executing them.
+
+:class:`ScenarioEngine` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into per-phase :class:`~repro.sim.simulator.SimulationConfig` leaves
+(**lowering** — pure, no simulation) and executes them through the
+process-wide :class:`~repro.runner.runner.ExperimentRunner`'s two-phase
+cache (**running**).  Because leaves are addressed by the ordinary
+replay/score keys, repeated phases replay **at most once** per timeline,
+re-running a scenario over a warm cache replays nothing, and analytic
+re-scores of scenario leaves stay zero-replay-cost like any other run.
+
+Baselines and every Morpheus variant run under any scenario:
+
+* ``BL`` keeps idle SMs active (burning static power),
+* ``IBL`` power-gates them,
+* ``Morpheus-*`` borrow them for the extended LLC under a
+  :class:`~repro.scenarios.policy.CapacityPolicy` — by default the
+  :class:`~repro.scenarios.policy.DynamicCapacityManager`, which replaces
+  the offline per-application split search for timeline runs and charges
+  flush/warm-up costs at every reconfiguration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.energy.components import DEFAULT_ENERGIES
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.runner.runner import ExperimentRunner, active_runner
+from repro.runner.spec import content_hash
+from repro.scenarios.policy import (
+    CapacityPolicy,
+    DynamicCapacityManager,
+    NO_TRANSITION,
+    PhaseDecision,
+    TransitionCostModel,
+)
+from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION, ScenarioPhase, ScenarioSpec
+from repro.sim.simulator import SimulationConfig
+from repro.sim.stats import SimulationStats
+from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
+from repro.systems.morpheus_system import MorpheusVariant
+from repro.systems.registry import SCENARIO_SYSTEMS
+from repro.workloads.applications import ApplicationProfile, get_application
+
+_MORPHEUS_VARIANTS: Dict[str, MorpheusVariant] = {
+    variant.value: variant for variant in MorpheusVariant
+}
+
+
+@dataclass(frozen=True)
+class LoweredPhase:
+    """One phase lowered to a concrete leaf simulation."""
+
+    index: int
+    phase: ScenarioPhase
+    decision: PhaseDecision
+    config: SimulationConfig
+
+
+@dataclass(frozen=True)
+class PhaseExecution:
+    """One executed phase: its lowered form plus the scored leaf result.
+
+    ``instructions`` is the phase's share of the timeline
+    (``duration_weight * instructions_per_weight``); ``compute_cycles`` is
+    the time spent retiring them at the leaf's modelled IPC.  The
+    transition cost into the phase lives in ``decision.transition``.
+    """
+
+    index: int
+    phase: ScenarioPhase
+    decision: PhaseDecision
+    stats: SimulationStats
+    instructions: float
+    compute_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        """Phase cycles including the transition stall charged on entry."""
+        return self.compute_cycles + self.decision.transition.total_cycles
+
+
+@dataclass
+class ScenarioRunResult:
+    """The full outcome of one (scenario, system, policy) timeline run."""
+
+    scenario: ScenarioSpec
+    system: str
+    policy_name: str
+    phases: Tuple[PhaseExecution, ...]
+    run_key: str
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions retired across the whole timeline."""
+        return sum(execution.instructions for execution in self.phases)
+
+    @property
+    def compute_cycles(self) -> float:
+        """Cycles spent retiring instructions (no transition stalls)."""
+        return sum(execution.compute_cycles for execution in self.phases)
+
+    @property
+    def transition_cycles(self) -> float:
+        """Cycles lost to extended-LLC flushes and warm-ups."""
+        return sum(
+            execution.decision.transition.total_cycles for execution in self.phases
+        )
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end timeline cycles (compute + transitions)."""
+        return self.compute_cycles + self.transition_cycles
+
+
+class ScenarioEngine:
+    """Lowers scenario timelines to leaf runs and executes them via the runner.
+
+    Args:
+        runner: Runner executing the leaves; ``None`` resolves the
+            process-wide runner at call time.
+        gpu: Baseline GPU configuration shared by all phases.
+        fidelity: Trace sizing preset for the phase leaves.
+        seed: Trace-generation seed shared by all phases.
+        transition_model: Flush/warm-up cost knobs for dynamic policies.
+        predictor: Hit/miss predictor flavour for Morpheus systems.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[ExperimentRunner] = None,
+        gpu: GPUConfig = RTX3080_CONFIG,
+        fidelity: Fidelity = STANDARD_FIDELITY,
+        seed: int = 1,
+        transition_model: Optional[TransitionCostModel] = None,
+        predictor: str = "bloom",
+    ) -> None:
+        self.runner = runner
+        self.gpu = gpu
+        self.fidelity = fidelity
+        self.seed = seed
+        self.transition_model = transition_model or TransitionCostModel()
+        self.predictor = predictor
+
+    def _runner(self) -> ExperimentRunner:
+        return self.runner if self.runner is not None else active_runner()
+
+    def _profiles(self, scenario: ScenarioSpec) -> Dict[str, ApplicationProfile]:
+        return {name: get_application(name) for name in scenario.applications}
+
+    # -- lowering (pure) ---------------------------------------------------------------
+
+    def lower(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy] = None,
+    ) -> List[LoweredPhase]:
+        """Lower every phase of ``scenario`` to a leaf config (no simulation).
+
+        This is the hot path of scenario execution bookkeeping: policy
+        planning plus config construction, benchmarked separately from the
+        (cached) leaf simulations.
+        """
+        for phase in scenario.phases:
+            if phase.compute_sm_demand > self.gpu.num_sms:
+                raise ValueError(
+                    f"phase {phase.label or phase.application!r} demands "
+                    f"{phase.compute_sm_demand} SMs but the GPU has {self.gpu.num_sms}"
+                )
+        profiles = self._profiles(scenario)
+        decisions, morpheus = self._plan(scenario, system, policy, profiles)
+        lowered = []
+        for index, (phase, decision) in enumerate(zip(scenario.phases, decisions)):
+            split = decision.split
+            lowered.append(
+                LoweredPhase(
+                    index=index,
+                    phase=phase,
+                    decision=decision,
+                    config=SimulationConfig(
+                        gpu=self.gpu,
+                        morpheus=morpheus if split.num_cache_sms > 0 else None,
+                        num_compute_sms=split.num_compute_sms,
+                        num_cache_sms=split.num_cache_sms,
+                        power_gate_unused=system != "BL",
+                        capacity_scale=self.fidelity.capacity_scale,
+                        trace_accesses=self.fidelity.trace_accesses,
+                        warmup_accesses=self.fidelity.warmup_accesses,
+                        system_name=system,
+                        seed=self.seed,
+                    ),
+                )
+            )
+        return lowered
+
+    def _plan(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy],
+        profiles: Mapping[str, ApplicationProfile],
+    ) -> Tuple[List[PhaseDecision], Optional[object]]:
+        """Per-phase decisions plus the Morpheus config (``None`` for baselines)."""
+        from repro.systems.morpheus_system import MorpheusOperatingPoint
+
+        if system in ("BL", "IBL"):
+            decisions = [
+                PhaseDecision(
+                    split=MorpheusOperatingPoint(
+                        num_compute_sms=phase.compute_sm_demand,
+                        num_cache_sms=0,
+                        # BL keeps idle SMs active; IBL gates them.
+                        num_gated_sms=(
+                            self.gpu.num_sms - phase.compute_sm_demand
+                            if system == "IBL"
+                            else 0
+                        ),
+                    ),
+                    transition=NO_TRANSITION,
+                )
+                for phase in scenario.phases
+            ]
+            return decisions, None
+        variant = _MORPHEUS_VARIANTS.get(system)
+        if variant is None:
+            valid = ", ".join(SCENARIO_SYSTEMS)
+            raise ValueError(
+                f"unknown scenario system {system!r}; expected one of: {valid}"
+            )
+        morpheus = variant.to_config(self.predictor)
+        policy = policy or DynamicCapacityManager()
+        decisions = policy.plan(
+            scenario, self.gpu, morpheus, profiles, self.transition_model
+        )
+        if len(decisions) != len(scenario.phases):
+            raise ValueError(
+                f"policy {policy.name!r} returned {len(decisions)} decisions "
+                f"for {len(scenario.phases)} phases"
+            )
+        return decisions, morpheus
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy] = None,
+    ) -> ScenarioRunResult:
+        """Execute ``scenario`` on ``system`` and return the timeline result.
+
+        Leaves are deduplicated by (application, config) — the config alone
+        does not identify a leaf: co-run phases of different applications
+        can lower to identical configs and must not share a result — and
+        executed as **one** replay-pooled batch, so repeated phases cost one
+        leaf execution and parallel runners replay distinct leaves
+        concurrently even across applications.
+        """
+        start = time.perf_counter()
+        runner = self._runner()
+        lowered = self.lower(scenario, system, policy)
+        profiles = self._profiles(scenario)
+
+        unique: List[Tuple[str, SimulationConfig]] = []
+        seen = set()
+        for leaf in lowered:
+            key = (leaf.phase.application, leaf.config)
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        batch = runner.run_leaves(
+            [(profiles[application], config) for application, config in unique]
+        )
+        stats_by_leaf: Dict[Tuple[str, SimulationConfig], SimulationStats] = dict(
+            zip(unique, batch)
+        )
+
+        executions = []
+        for leaf in lowered:
+            stats = stats_by_leaf[(leaf.phase.application, leaf.config)]
+            instructions = leaf.phase.duration_weight * scenario.instructions_per_weight
+            executions.append(
+                PhaseExecution(
+                    index=leaf.index,
+                    phase=leaf.phase,
+                    decision=leaf.decision,
+                    stats=stats,
+                    instructions=instructions,
+                    compute_cycles=instructions / max(stats.ipc, 1e-9),
+                )
+            )
+        runner.maybe_auto_prune()
+        return ScenarioRunResult(
+            scenario=scenario,
+            system=system,
+            policy_name=self._policy_name(system, policy),
+            phases=tuple(executions),
+            run_key=self.run_key(scenario, system, policy),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _policy_name(system: str, policy: Optional[CapacityPolicy]) -> str:
+        """The label a run records for its capacity policy."""
+        if system == "BL":
+            return "all-active"
+        if system == "IBL":
+            return "power-gate"
+        return (policy or DynamicCapacityManager()).name
+
+    def run_systems(
+        self,
+        scenario: ScenarioSpec,
+        systems: Sequence[str] = SCENARIO_SYSTEMS,
+        policy: Optional[CapacityPolicy] = None,
+    ) -> Dict[str, ScenarioRunResult]:
+        """Run ``scenario`` on several systems; ``{system: result}``."""
+        return {system: self.run(scenario, system, policy) for system in systems}
+
+    def run_key(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy] = None,
+    ) -> str:
+        """Content-hash key of one timeline run (scenario-level artifacts).
+
+        Extends :meth:`ScenarioSpec.scenario_key` — which already embeds the
+        replay/score/scenario schema versions — with everything else that
+        shapes the result: system, policy, GPU, fidelity, seed, predictor,
+        the transition-cost knobs and the energy constants the runner
+        scores (and keys) leaves with.
+        """
+        policy = policy if policy is not None else (
+            None if system in ("BL", "IBL") else DynamicCapacityManager()
+        )
+        # Class name + instance fields, so parameterized policy subclasses
+        # (a public extension point) never collide on a shared `name`.
+        policy_fields: Dict[str, object] = dict(vars(policy)) if policy is not None else {}
+        policy_class = type(policy).__name__ if policy is not None else None
+        energy_model = self._runner().energy_model
+        energies = energy_model.energies if energy_model is not None else DEFAULT_ENERGIES
+        return content_hash(
+            {
+                "schema": SCENARIO_SCHEMA_VERSION,
+                "scenario_key": scenario.scenario_key(),
+                "system": system,
+                "policy": policy.name if policy is not None else None,
+                "policy_class": policy_class,
+                "policy_fields": policy_fields,
+                "gpu": self.gpu,
+                "fidelity": self.fidelity,
+                "seed": self.seed,
+                "predictor": self.predictor,
+                "transition_model": self.transition_model,
+                "energies": energies,
+            }
+        )

@@ -1,0 +1,214 @@
+"""Library of named scenarios.
+
+Each factory builds a :class:`~repro.scenarios.spec.ScenarioSpec` from a few
+shape parameters; :func:`get_scenario` looks factories up by name so scripts
+and CI can request timelines declaratively (``get_scenario("bursty")``).
+
+The shapes mirror how idle GPU capacity actually comes and goes:
+
+* ``steady`` — a constant-demand timeline: the repo's historical
+  single-phase evaluation, expressed as a (repeated) scenario.
+* ``bursty`` — alternating low/high demand, e.g. background analytics
+  interrupted by latency-critical kernel bursts.  Each burst forces Morpheus
+  to hand borrowed SMs back to compute, and each lull lets it re-borrow them.
+* ``corun_pair`` — two applications alternating ownership of the GPU, a
+  time-sliced co-run mix.
+* ``ramp`` (alias ``diurnal``) — demand climbing to a peak and easing back
+  down, a compressed diurnal load curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scenarios.spec import ScenarioPhase, ScenarioSpec
+
+
+def steady(
+    application: str = "spmv",
+    compute_sms: int = 34,
+    num_phases: int = 4,
+    phase_weight: float = 1.0,
+) -> ScenarioSpec:
+    """A constant-demand timeline (``num_phases`` identical phases).
+
+    Every phase lowers to the *same* leaf simulation, so the whole timeline
+    costs one trace replay — the degenerate case the two-phase cache makes
+    free, and the reference point transition-cost comparisons are made
+    against (a steady timeline never reconfigures).
+    """
+    if num_phases <= 0:
+        raise ValueError("num_phases must be positive")
+    phases = [
+        ScenarioPhase(
+            application=application,
+            compute_sm_demand=compute_sms,
+            duration_weight=phase_weight,
+            label=f"steady-{index}",
+        )
+        for index in range(num_phases)
+    ]
+    return ScenarioSpec(
+        name="steady",
+        phases=tuple(phases),
+        description=f"{application} at a constant {compute_sms}-SM demand",
+    )
+
+
+def bursty(
+    application: str = "kmeans",
+    low_sms: int = 24,
+    high_sms: int = 60,
+    bursts: int = 3,
+    low_weight: float = 2.0,
+    high_weight: float = 1.0,
+) -> ScenarioSpec:
+    """Alternating low/high compute demand: ``low, high, low, ..., low``.
+
+    The low phases leave most of the GPU idle (Morpheus grows the extended
+    LLC); each burst reclaims those SMs for compute (Morpheus flushes and
+    hands capacity back), then the following lull re-grows it — the dynamic
+    capacity manager pays a flush + warm-up on every edge.
+    """
+    if bursts <= 0:
+        raise ValueError("bursts must be positive")
+    if low_sms >= high_sms:
+        raise ValueError("low_sms must be below high_sms")
+    phases: List[ScenarioPhase] = []
+    for index in range(bursts):
+        phases.append(
+            ScenarioPhase(
+                application=application,
+                compute_sm_demand=low_sms,
+                duration_weight=low_weight,
+                label=f"lull-{index}",
+            )
+        )
+        phases.append(
+            ScenarioPhase(
+                application=application,
+                compute_sm_demand=high_sms,
+                duration_weight=high_weight,
+                label=f"burst-{index}",
+            )
+        )
+    phases.append(
+        ScenarioPhase(
+            application=application,
+            compute_sm_demand=low_sms,
+            duration_weight=low_weight,
+            label=f"lull-{bursts}",
+        )
+    )
+    return ScenarioSpec(
+        name="bursty",
+        phases=tuple(phases),
+        description=(
+            f"{application} alternating {low_sms}/{high_sms}-SM demand, "
+            f"{bursts} bursts"
+        ),
+    )
+
+
+def corun_pair(
+    application_a: str = "spmv",
+    application_b: str = "cfd",
+    sms_a: int = 42,
+    sms_b: int = 24,
+    rounds: int = 2,
+) -> ScenarioSpec:
+    """Two applications alternating ownership of the GPU (time-sliced co-run).
+
+    Even when the SM split barely moves, every slice boundary changes the
+    *owner* of the extended LLC contents, so the dynamic capacity manager
+    writes back the outgoing application's dirty blocks and re-warms for the
+    incoming one.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    phases: List[ScenarioPhase] = []
+    for index in range(rounds):
+        phases.append(
+            ScenarioPhase(
+                application=application_a,
+                compute_sm_demand=sms_a,
+                label=f"{application_a}-{index}",
+            )
+        )
+        phases.append(
+            ScenarioPhase(
+                application=application_b,
+                compute_sm_demand=sms_b,
+                label=f"{application_b}-{index}",
+            )
+        )
+    return ScenarioSpec(
+        name="corun_pair",
+        phases=tuple(phases),
+        description=(
+            f"{application_a} ({sms_a} SMs) / {application_b} ({sms_b} SMs) "
+            f"time-sliced, {rounds} rounds"
+        ),
+    )
+
+
+def ramp(
+    application: str = "spmv",
+    low_sms: int = 10,
+    high_sms: int = 60,
+    steps: int = 4,
+) -> ScenarioSpec:
+    """Demand ramping up to a peak and back down (compressed diurnal curve).
+
+    Produces ``2 * steps - 1`` phases whose demands are evenly spaced between
+    ``low_sms`` and ``high_sms``; idle capacity shrinks one notch at a time
+    on the way up and returns on the way down, so the dynamic manager pays a
+    sequence of small handbacks rather than one large one.
+    """
+    if steps < 2:
+        raise ValueError("steps must be at least 2")
+    if low_sms >= high_sms:
+        raise ValueError("low_sms must be below high_sms")
+    ascend = [
+        low_sms + round((high_sms - low_sms) * index / (steps - 1))
+        for index in range(steps)
+    ]
+    demands = ascend + ascend[-2::-1]
+    phases = [
+        ScenarioPhase(
+            application=application,
+            compute_sm_demand=demand,
+            label=f"ramp-{index}",
+        )
+        for index, demand in enumerate(demands)
+    ]
+    return ScenarioSpec(
+        name="ramp",
+        phases=tuple(phases),
+        description=(
+            f"{application} demand ramping {low_sms}->{high_sms}->{low_sms} SMs "
+            f"in {steps} steps"
+        ),
+    )
+
+
+#: Named scenario factories, for declarative lookup by scripts and CI.
+SCENARIO_LIBRARY: Dict[str, Callable[..., ScenarioSpec]] = {
+    "steady": steady,
+    "bursty": bursty,
+    "corun_pair": corun_pair,
+    "ramp": ramp,
+    "diurnal": ramp,
+}
+
+
+def get_scenario(name: str, **kwargs) -> ScenarioSpec:
+    """Build a library scenario by name, forwarding shape parameters."""
+    try:
+        factory = SCENARIO_LIBRARY[name]
+    except KeyError:
+        valid = ", ".join(sorted(SCENARIO_LIBRARY))
+        raise KeyError(
+            f"unknown scenario {name!r}; expected one of: {valid}"
+        ) from None
+    return factory(**kwargs)

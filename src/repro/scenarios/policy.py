@@ -1,0 +1,372 @@
+"""Capacity policies: how Morpheus splits SMs across a timeline's phases.
+
+The repo's static evaluation searches offline for one best (compute, cache,
+gated) split per application and never changes it.  Under a timeline that is
+not enough: when a phase's compute demand rises, the scheduler *hands SMs
+back* and the extended LLC must shrink — dirty extended-LLC blocks are
+written back to DRAM before the SMs can leave cache mode — and when demand
+falls, newly borrowed SMs start *cold* and must be re-warmed from DRAM.
+
+Two policies model the ends of that spectrum:
+
+* :class:`FixedSplitPolicy` — one conservative split sized for the
+  timeline's worst-case demand, never resized: no resizing costs (only the
+  unavoidable flush when the running application changes), but low phases
+  waste idle SMs (they are gated instead of caching).
+* :class:`DynamicCapacityManager` — tracks each phase's idle capacity,
+  deriving phase *i*'s split from phase *i-1*'s and charging
+  :class:`TransitionCostModel` costs on every reconfiguration (and on
+  application changes, which orphan the extended LLC's contents).
+
+Costs are *analytic* and layered on top of the per-phase replay/score
+results: they never change a leaf simulation, so no cached measurement or
+stats entry is invalidated by tuning them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.core.config import MorpheusConfig
+from repro.gpu.config import GPUConfig
+from repro.scenarios.spec import ScenarioSpec
+from repro.systems.morpheus_system import MorpheusOperatingPoint
+from repro.workloads.applications import ApplicationProfile
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class TransitionCost:
+    """Cost of reconfiguring the extended LLC at a phase boundary.
+
+    All cycle counts are core cycles charged *between* phases (the GPU is
+    reconfiguring, not retiring application instructions).
+
+    Attributes:
+        flush_cycles: Cycles spent writing the reclaimed/orphaned extended
+            LLC blocks' dirty data back to DRAM.
+        warmup_cycles: Cycles spent refilling grown (or newly owned) extended
+            LLC capacity from DRAM.
+        flushed_dirty_bytes: Dirty extended-LLC bytes written back to DRAM.
+        warmup_fill_bytes: Bytes streamed from DRAM to re-warm capacity.
+        reclaimed_sms: Cache-mode SMs handed back to compute (or orphaned by
+            an application change).
+        added_sms: SMs newly entering cache mode (or re-warmed after an
+            application change).
+    """
+
+    flush_cycles: float = 0.0
+    warmup_cycles: float = 0.0
+    flushed_dirty_bytes: float = 0.0
+    warmup_fill_bytes: float = 0.0
+    reclaimed_sms: int = 0
+    added_sms: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        """Total reconfiguration stall in core cycles."""
+        return self.flush_cycles + self.warmup_cycles
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic caused by the transition."""
+        return self.flushed_dirty_bytes + self.warmup_fill_bytes
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the boundary required no reconfiguration work."""
+        return self.total_cycles == 0.0 and self.dram_bytes == 0.0
+
+
+#: A no-op transition (phase boundaries that keep the split and owner).
+NO_TRANSITION = TransitionCost()
+
+
+@dataclass(frozen=True)
+class TransitionCostModel:
+    """Analytic model of extended-LLC flush and warm-up costs.
+
+    Attributes:
+        extended_bytes_per_cache_sm: Extended-LLC capacity contributed by one
+            cache-mode SM.  Defaults to the paper's combined RF+L1
+            configuration (328 KiB, §5).
+        dirty_fraction: Fraction of flushed capacity that is dirty and must
+            be written back.  ``None`` uses the outgoing application's
+            ``write_fraction`` (its steady-state mix of writes).
+        warmup_fill_fraction: Fraction of grown capacity that is re-fetched
+            from DRAM before the extended LLC reaches steady state.
+        flush_bandwidth_gbps_per_sm: Rate at which one cache-mode SM can
+            drain its stores during a flush, in **gigabytes** per second
+            (the repo-wide ``*_gbps`` convention, e.g.
+            ``ExtendedLLCTiming.per_sm_extended_bandwidth_gbps``); defaults
+            to the extended LLC kernel's per-SM bandwidth (34 GB/s, §5).
+    """
+
+    extended_bytes_per_cache_sm: int = 328 * KIB
+    dirty_fraction: Optional[float] = None
+    warmup_fill_fraction: float = 0.85
+    flush_bandwidth_gbps_per_sm: float = 34.0
+
+    def __post_init__(self) -> None:
+        if self.extended_bytes_per_cache_sm <= 0:
+            raise ValueError("extended_bytes_per_cache_sm must be positive")
+        if self.dirty_fraction is not None and not 0.0 <= self.dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in [0, 1]")
+        if not 0.0 <= self.warmup_fill_fraction <= 1.0:
+            raise ValueError("warmup_fill_fraction must be in [0, 1]")
+        if self.flush_bandwidth_gbps_per_sm <= 0:
+            raise ValueError("flush_bandwidth_gbps_per_sm must be positive")
+
+    # -- cost primitives ---------------------------------------------------------------
+
+    def _dram_bytes_per_cycle(self, gpu: GPUConfig) -> float:
+        return gpu.dram.bytes_per_cycle_per_channel * gpu.dram.num_channels
+
+    def flush_cost(
+        self,
+        gpu: GPUConfig,
+        reclaimed_sms: int,
+        outgoing_profile: ApplicationProfile,
+    ) -> TransitionCost:
+        """Cost of draining ``reclaimed_sms`` cache-mode SMs' extended LLC.
+
+        Clean blocks are dropped for free; dirty blocks are written back to
+        DRAM, limited by the slower of the SMs' aggregate drain rate and the
+        DRAM write bandwidth.
+        """
+        if reclaimed_sms <= 0:
+            return NO_TRANSITION
+        capacity = float(reclaimed_sms * self.extended_bytes_per_cache_sm)
+        dirty_fraction = (
+            outgoing_profile.write_fraction
+            if self.dirty_fraction is None
+            else self.dirty_fraction
+        )
+        dirty = capacity * dirty_fraction
+        drain_bpc = self.flush_bandwidth_gbps_per_sm / gpu.core_clock_ghz * reclaimed_sms
+        bandwidth = min(drain_bpc, self._dram_bytes_per_cycle(gpu))
+        return TransitionCost(
+            flush_cycles=dirty / bandwidth if dirty else 0.0,
+            flushed_dirty_bytes=dirty,
+            reclaimed_sms=reclaimed_sms,
+        )
+
+    def warmup_cost(self, gpu: GPUConfig, added_sms: int) -> TransitionCost:
+        """Cost of warming ``added_sms`` freshly borrowed cache-mode SMs.
+
+        The new capacity starts cold; its working set streams in from DRAM.
+        Charging the fill serially (instead of folding it into the phase's
+        miss rate) is a deliberate pessimistic bound — the per-phase replay
+        measures steady state, so the fill must be accounted somewhere.
+        """
+        if added_sms <= 0:
+            return NO_TRANSITION
+        fill = (
+            float(added_sms * self.extended_bytes_per_cache_sm)
+            * self.warmup_fill_fraction
+        )
+        return TransitionCost(
+            warmup_cycles=fill / self._dram_bytes_per_cycle(gpu) if fill else 0.0,
+            warmup_fill_bytes=fill,
+            added_sms=added_sms,
+        )
+
+    def transition(
+        self,
+        gpu: GPUConfig,
+        previous_cache_sms: int,
+        new_cache_sms: int,
+        outgoing_profile: ApplicationProfile,
+        application_changed: bool,
+    ) -> TransitionCost:
+        """Combined cost of moving from one phase's split/owner to the next.
+
+        A pure resize flushes only the reclaimed SMs and warms only the
+        added ones.  An application change orphans *all* retained contents:
+        the whole outgoing allocation is flushed and the whole incoming one
+        re-warmed, whatever the resize.
+        """
+        if application_changed:
+            flush_sms = previous_cache_sms
+            warm_sms = new_cache_sms
+        else:
+            flush_sms = max(0, previous_cache_sms - new_cache_sms)
+            warm_sms = max(0, new_cache_sms - previous_cache_sms)
+        flush = self.flush_cost(gpu, flush_sms, outgoing_profile)
+        warm = self.warmup_cost(gpu, warm_sms)
+        if flush.is_zero and warm.is_zero:
+            return NO_TRANSITION
+        return TransitionCost(
+            flush_cycles=flush.flush_cycles,
+            warmup_cycles=warm.warmup_cycles,
+            flushed_dirty_bytes=flush.flushed_dirty_bytes,
+            warmup_fill_bytes=warm.warmup_fill_bytes,
+            reclaimed_sms=flush.reclaimed_sms,
+            added_sms=warm.added_sms,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseDecision:
+    """One phase's chosen SM split plus the cost of transitioning into it."""
+
+    split: MorpheusOperatingPoint
+    transition: TransitionCost = NO_TRANSITION
+
+
+def max_cache_mode_sms(gpu: GPUConfig, morpheus: MorpheusConfig) -> int:
+    """The §4.1.3 cap on cache-mode SMs (at most 75 % of the GPU)."""
+    return int(gpu.num_sms * morpheus.max_cache_mode_fraction)
+
+
+class CapacityPolicy(abc.ABC):
+    """Chooses a (compute, cache, gated) split for every phase of a timeline."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        scenario: ScenarioSpec,
+        gpu: GPUConfig,
+        morpheus: MorpheusConfig,
+        profiles: Mapping[str, ApplicationProfile],
+        transition_model: TransitionCostModel,
+    ) -> List[PhaseDecision]:
+        """One :class:`PhaseDecision` per scenario phase, in timeline order."""
+
+    def _split(
+        self, gpu: GPUConfig, compute_sms: int, cache_sms: int
+    ) -> MorpheusOperatingPoint:
+        if compute_sms + cache_sms > gpu.num_sms:
+            raise ValueError(
+                f"split exceeds the GPU ({compute_sms} + {cache_sms} > {gpu.num_sms})"
+            )
+        return MorpheusOperatingPoint(
+            num_compute_sms=compute_sms,
+            num_cache_sms=cache_sms,
+            num_gated_sms=gpu.num_sms - compute_sms - cache_sms,
+        )
+
+
+class FixedSplitPolicy(CapacityPolicy):
+    """One static split sized for the timeline's worst-case compute demand.
+
+    The cache allocation is the largest that fits under *every* phase's
+    demand (and the cache-mode cap), so the split never changes and resizing
+    costs are never paid — the scenario generalization of the repo's offline
+    per-application operating point.  The price is wasted idle capacity:
+    low-demand phases gate SMs the dynamic manager would borrow.
+
+    Application changes still cost: the outgoing application's extended-LLC
+    contents are physically orphaned whatever the policy, so the static
+    split pays the same flush + re-warm at an ownership change as the
+    dynamic manager would for an unchanged allocation — keeping
+    static-vs-dynamic comparisons about *capacity adaptation*, not about
+    asymmetric accounting.
+    """
+
+    name = "static"
+
+    def plan(
+        self,
+        scenario: ScenarioSpec,
+        gpu: GPUConfig,
+        morpheus: MorpheusConfig,
+        profiles: Mapping[str, ApplicationProfile],
+        transition_model: TransitionCostModel,
+    ) -> List[PhaseDecision]:
+        worst_idle = gpu.num_sms - scenario.max_compute_sm_demand
+        cache_sms = max(0, min(worst_idle, max_cache_mode_sms(gpu, morpheus)))
+        decisions: List[PhaseDecision] = []
+        previous_application: Optional[str] = None
+        for index, phase in enumerate(scenario.phases):
+            if index == 0 or phase.application == previous_application:
+                transition = NO_TRANSITION
+            else:
+                transition = transition_model.transition(
+                    gpu,
+                    previous_cache_sms=cache_sms,
+                    new_cache_sms=cache_sms,
+                    outgoing_profile=profiles[previous_application],
+                    application_changed=True,
+                )
+            decisions.append(
+                PhaseDecision(
+                    split=self._split(gpu, phase.compute_sm_demand, cache_sms),
+                    transition=transition,
+                )
+            )
+            previous_application = phase.application
+        return decisions
+
+
+class DynamicCapacityManager(CapacityPolicy):
+    """Tracks idle capacity phase by phase, paying for every reconfiguration.
+
+    Each phase's split is derived from the previous phase's: the manager
+    targets the phase's full idle capacity (up to the cache-mode cap), hands
+    SMs back when compute demand rises (charging the extended-LLC flush),
+    re-borrows them when demand falls (charging the warm-up), and flushes +
+    re-warms everything when the running application changes.  Entering the
+    first phase is free — the initial split is configured before the
+    timeline starts, like the static policies' offline setup.
+
+    Args:
+        hysteresis_sms: Allocation changes of at most this many SMs are
+            skipped (the previous split is kept) when the previous
+            allocation still fits the new phase's idle capacity — damping
+            reactions to small demand wiggles that would not pay for their
+            own transition cost.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, hysteresis_sms: int = 0) -> None:
+        if hysteresis_sms < 0:
+            raise ValueError("hysteresis_sms must be non-negative")
+        self.hysteresis_sms = hysteresis_sms
+
+    def plan(
+        self,
+        scenario: ScenarioSpec,
+        gpu: GPUConfig,
+        morpheus: MorpheusConfig,
+        profiles: Mapping[str, ApplicationProfile],
+        transition_model: TransitionCostModel,
+    ) -> List[PhaseDecision]:
+        cap = max_cache_mode_sms(gpu, morpheus)
+        decisions: List[PhaseDecision] = []
+        previous_cache = 0
+        previous_application: Optional[str] = None
+        for index, phase in enumerate(scenario.phases):
+            idle = gpu.num_sms - phase.compute_sm_demand
+            target = max(0, min(idle, cap))
+            cache_sms = target
+            if (
+                previous_cache <= idle
+                and abs(target - previous_cache) <= self.hysteresis_sms
+            ):
+                cache_sms = previous_cache
+            if index == 0:
+                transition = NO_TRANSITION
+            else:
+                transition = transition_model.transition(
+                    gpu,
+                    previous_cache_sms=previous_cache,
+                    new_cache_sms=cache_sms,
+                    outgoing_profile=profiles[previous_application],
+                    application_changed=phase.application != previous_application,
+                )
+            decisions.append(
+                PhaseDecision(
+                    split=self._split(gpu, phase.compute_sm_demand, cache_sms),
+                    transition=transition,
+                )
+            )
+            previous_cache = cache_sms
+            previous_application = phase.application
+        return decisions

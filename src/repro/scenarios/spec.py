@@ -1,0 +1,139 @@
+"""Declarative multi-phase workload timelines.
+
+A :class:`ScenarioSpec` describes a **timeline**: an ordered sequence of
+:class:`ScenarioPhase` entries, each naming the application that owns the
+GPU during that phase, how many SMs the scheduler grants it for compute
+(``compute_sm_demand`` — the rest of the GPU is idle from the application's
+point of view), and a relative ``duration_weight``.  Phases are what Morpheus
+reacts to: when the demand drops, idle SMs can be borrowed for the extended
+LLC; when it rises, the scheduler hands capacity back and the extended LLC
+must shrink.
+
+Scenario keys layer on top of the two-phase runner contract: every phase is
+lowered to an existing :class:`~repro.runner.spec.RunSpec`, so the leaf
+results are addressed by the ordinary replay/score keys — a scenario adds no
+third cache tier.  :meth:`ScenarioSpec.scenario_key` exists so *scenario
+level* artifacts (aggregated timelines, reports) can be content-addressed
+too; it embeds :data:`SCENARIO_SCHEMA_VERSION` **and** both leaf schema
+versions, because a replay- or score-behaviour change invalidates any
+aggregate derived from the leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.runner.spec import (
+    REPLAY_SCHEMA_VERSION,
+    SCORE_SCHEMA_VERSION,
+    content_hash,
+)
+
+#: Version of the scenario-level aggregation schema.  Bump whenever the
+#: phase-lowering semantics, the transition-cost model layout or the
+#: scenario aggregation (instruction accounting, cycle totals) change —
+#: anything that would make a previously stored scenario-level aggregate
+#: stale even though the leaf replay/score entries are still valid.
+SCENARIO_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One phase of a workload timeline.
+
+    Attributes:
+        application: Name of the application running during the phase
+            (see :data:`repro.workloads.applications.APPLICATIONS`).
+        compute_sm_demand: SMs the scheduler grants the application for
+            compute during the phase; the remaining SMs are idle and may be
+            borrowed by Morpheus for the extended LLC.
+        duration_weight: Relative length of the phase.  The engine converts
+            weights to instructions via
+            :attr:`ScenarioSpec.instructions_per_weight`.
+        label: Optional human-readable tag shown in per-phase tables.
+    """
+
+    application: str
+    compute_sm_demand: int
+    duration_weight: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.application:
+            raise ValueError("a phase needs an application name")
+        if self.compute_sm_demand <= 0:
+            raise ValueError("compute_sm_demand must be positive")
+        if self.duration_weight <= 0:
+            raise ValueError("duration_weight must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named timeline of phases.
+
+    Attributes:
+        name: Scenario name (library scenarios use their factory name).
+        phases: The ordered phases of the timeline.
+        instructions_per_weight: Instructions executed per unit of
+            ``duration_weight``.  This sets the absolute timeline length, and
+            therefore how much fixed-cost reconfiguration (flush/warm-up)
+            matters relative to useful work: shorter phases make transitions
+            relatively more expensive.
+        description: Optional human-readable summary.
+    """
+
+    name: str
+    phases: Tuple[ScenarioPhase, ...]
+    instructions_per_weight: float = 2.0e8
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if not self.phases:
+            raise ValueError("a scenario needs at least one phase")
+        if self.instructions_per_weight <= 0:
+            raise ValueError("instructions_per_weight must be positive")
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the phases' duration weights."""
+        return sum(phase.duration_weight for phase in self.phases)
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """Distinct applications appearing in the timeline, in first-seen order."""
+        seen = []
+        for phase in self.phases:
+            if phase.application not in seen:
+                seen.append(phase.application)
+        return tuple(seen)
+
+    @property
+    def max_compute_sm_demand(self) -> int:
+        """The largest compute demand of any phase (sizes worst-case splits)."""
+        return max(phase.compute_sm_demand for phase in self.phases)
+
+    def scenario_key(self) -> str:
+        """Content-hash key of the timeline for scenario-level artifacts.
+
+        Layers on the runner's schema contract: the key embeds
+        :data:`SCENARIO_SCHEMA_VERSION` plus both leaf schema versions, so a
+        replay- or score-behaviour bump invalidates scenario-level aggregates
+        exactly as it invalidates the leaf cache entries they derive from.
+        """
+        return content_hash(
+            {
+                "schema": (
+                    REPLAY_SCHEMA_VERSION,
+                    SCORE_SCHEMA_VERSION,
+                    SCENARIO_SCHEMA_VERSION,
+                ),
+                "scenario": self,
+            }
+        )

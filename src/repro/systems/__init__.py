@@ -10,10 +10,12 @@ from repro.systems.baseline import (
 from repro.systems.morpheus_system import MorpheusSystem, MorpheusVariant
 from repro.systems.registry import (
     EVALUATED_SYSTEMS,
+    SCENARIO_SYSTEMS,
     EvaluatedSystem,
     evaluate_application,
     evaluate_all_systems,
     get_system,
+    run_scenario,
 )
 
 __all__ = [
@@ -25,8 +27,10 @@ __all__ = [
     "ImprovedBaselineSystem",
     "MorpheusSystem",
     "MorpheusVariant",
+    "SCENARIO_SYSTEMS",
     "UnifiedSMMemSystem",
     "evaluate_all_systems",
     "evaluate_application",
     "get_system",
+    "run_scenario",
 ]

@@ -44,18 +44,43 @@ EVALUATED_SYSTEMS: tuple[str, ...] = (
     "Morpheus-ALL",
 )
 
+#: Systems that can run under a workload timeline (the two baselines plus
+#: all four Morpheus variants) — see :mod:`repro.scenarios` and
+#: :func:`run_scenario`.
+SCENARIO_SYSTEMS: tuple[str, ...] = (
+    "BL",
+    "IBL",
+    "Morpheus-Basic",
+    "Morpheus-Compression",
+    "Morpheus-Indirect-MOV",
+    "Morpheus-ALL",
+)
+
 
 def get_system(
     name: str,
     gpu: GPUConfig = RTX3080_CONFIG,
     fidelity: Fidelity = STANDARD_FIDELITY,
     seed: int = 1,
+    predictor: str | None = None,
 ) -> EvaluatedSystem:
     """Construct an evaluated system by its Figure-12 name.
 
     Systems are cheap to construct; the expensive part — their simulations —
     is cached by the runner, so no instance memoization is needed.
+
+    ``predictor`` overrides the hit/miss-predictor flavour of a Morpheus
+    system (the declarative form of the ``"Morpheus-Basic(<predictor>)"``
+    name syntax, used by the :class:`~repro.runner.spec.ExperimentSpec`
+    predictor axis).  Non-Morpheus systems have no predictor to override.
     """
+    if predictor is not None:
+        variant = {v.value: v for v in MorpheusVariant}.get(name)
+        if variant is None:
+            raise ValueError(
+                f"system {name!r} has no hit/miss predictor to override"
+            )
+        return MorpheusSystem(variant, gpu, fidelity, predictor=predictor, seed=seed)
     if name == "BL":
         system: EvaluatedSystem = BaselineSystem(gpu, fidelity, seed=seed)
     elif name == "IBL":
@@ -95,16 +120,18 @@ def evaluate_application(
     fidelity: Fidelity = STANDARD_FIDELITY,
     use_cache: bool = True,
     seed: int = 1,
+    predictor: str | None = None,
 ) -> SimulationStats:
     """Simulate one application on one named system (runner-cached).
 
     With ``use_cache=False`` the underlying leaf simulations are recomputed
-    (and the cache refreshed) instead of being served from it.
+    (and the cache refreshed) instead of being served from it.  ``predictor``
+    overrides a Morpheus system's hit/miss predictor (see :func:`get_system`).
     """
     from repro.runner.runner import active_runner
 
     profile = application if isinstance(application, ApplicationProfile) else get_application(application)
-    system = get_system(system_name, gpu, fidelity, seed=seed)
+    system = get_system(system_name, gpu, fidelity, seed=seed, predictor=predictor)
     if use_cache:
         return system.evaluate(profile)
     with active_runner().cache_bypassed():
@@ -130,6 +157,35 @@ def evaluate_all_systems(
     )
     result = active_runner().run_plan(spec)
     return result.by_application(profile.name)
+
+
+def run_scenario(
+    system_name: str,
+    scenario,
+    gpu: GPUConfig = RTX3080_CONFIG,
+    fidelity: Fidelity = STANDARD_FIDELITY,
+    seed: int = 1,
+    policy=None,
+    predictor: str = "bloom",
+):
+    """Run one system through a workload timeline (see :mod:`repro.scenarios`).
+
+    ``scenario`` is a :class:`~repro.scenarios.spec.ScenarioSpec` or the name
+    of a library scenario (e.g. ``"bursty"``).  Baselines ignore ``policy``;
+    Morpheus systems default to the dynamic capacity manager.  Returns a
+    :class:`~repro.scenarios.engine.ScenarioRunResult`.
+    """
+    # Imported lazily: the scenario engine executes through the runner,
+    # which calls back into this module for named-system cells.
+    from repro.scenarios.engine import ScenarioEngine
+    from repro.scenarios.library import get_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    engine = ScenarioEngine(
+        gpu=gpu, fidelity=fidelity, seed=seed, predictor=predictor
+    )
+    return engine.run(scenario, system_name, policy)
 
 
 def clear_caches() -> None:

@@ -1,0 +1,94 @@
+"""Tests for scenario-level analysis (timeline aggregates and reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scenarios import (
+    compare_runs,
+    phase_table,
+    scenario_energy_j,
+    time_weighted_ipc,
+    transition_overheads,
+)
+from fidelity_utils import TINY_FIDELITY
+from repro.energy.components import DEFAULT_ENERGIES, ComponentEnergies
+from repro.runner import ExperimentRunner, using_runner
+from repro.scenarios import FixedSplitPolicy, ScenarioEngine, bursty
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    runner = ExperimentRunner(
+        cache_dir=tmp_path_factory.mktemp("cache"), max_workers=0
+    )
+    engine = ScenarioEngine(runner=runner, fidelity=TINY_FIDELITY)
+    scenario = bursty(bursts=2)
+    with using_runner(runner):
+        dynamic = engine.run(scenario, "Morpheus-ALL")
+        static = engine.run(scenario, "Morpheus-ALL", FixedSplitPolicy())
+    return dynamic, static
+
+
+class TestTimelineAggregates:
+    def test_time_weighted_ipc_matches_totals(self, runs):
+        dynamic, _ = runs
+        expected = dynamic.total_instructions / dynamic.total_cycles
+        assert time_weighted_ipc(dynamic) == pytest.approx(expected)
+        # Transitions cost cycles, so the timeline IPC is strictly below the
+        # duration-weighted mean of the per-phase IPCs.
+        no_transition_ipc = dynamic.total_instructions / dynamic.compute_cycles
+        assert time_weighted_ipc(dynamic) < no_transition_ipc
+
+    def test_transition_overheads_aggregate_per_phase_costs(self, runs):
+        dynamic, static = runs
+        overheads = transition_overheads(dynamic)
+        assert overheads.transitions == 4  # every boundary of two bursts
+        assert overheads.total_cycles == pytest.approx(dynamic.transition_cycles)
+        assert overheads.flush_cycles > 0 and overheads.warmup_cycles > 0
+        assert 0 < overheads.overhead_fraction < 1
+        expected_energy = (
+            (overheads.flushed_dirty_bytes + overheads.warmup_fill_bytes)
+            * DEFAULT_ENERGIES.dram_pj_per_byte
+            * 1e-12
+        )
+        assert overheads.dram_energy_j == pytest.approx(expected_energy)
+
+        static_overheads = transition_overheads(static)
+        assert static_overheads.transitions == 0
+        assert static_overheads.total_cycles == 0
+        assert static_overheads.overhead_fraction == 0
+
+    def test_scenario_energy_scales_phase_energy(self, runs):
+        dynamic, _ = runs
+        total = scenario_energy_j(dynamic)
+        manual = sum(
+            execution.stats.energy.total_j
+            * (execution.instructions / execution.stats.instructions)
+            for execution in dynamic.phases
+        ) + transition_overheads(dynamic).dram_energy_j
+        assert total == pytest.approx(manual)
+        assert total > 0
+
+    def test_energy_respects_custom_constants(self, runs):
+        dynamic, _ = runs
+        expensive_dram = ComponentEnergies(dram_pj_per_byte=999.0)
+        assert (
+            transition_overheads(dynamic, expensive_dram).dram_energy_j
+            > transition_overheads(dynamic).dram_energy_j
+        )
+
+
+class TestReports:
+    def test_phase_table_lists_every_phase(self, runs):
+        dynamic, _ = runs
+        table = phase_table(dynamic)
+        assert "Morpheus-ALL" in table and "dynamic" in table
+        assert table.count("kmeans") >= len(dynamic)
+        assert "transition" in table
+
+    def test_compare_runs_renders_all_rows(self, runs):
+        dynamic, static = runs
+        table = compare_runs({"dynamic": dynamic, "static": static})
+        assert "dynamic" in table and "static" in table
+        assert "tw-IPC" in table and "%" in table

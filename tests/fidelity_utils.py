@@ -1,0 +1,18 @@
+"""The shared tiny test fidelity (not collected by pytest).
+
+Importable from every test directory because pytest prepends
+``tests/`` (the root conftest's directory) to ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from repro.systems.fidelity import Fidelity
+
+#: Tiny fidelity so each leaf simulation takes milliseconds.
+TINY_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 64.0,
+    trace_accesses=800,
+    warmup_accesses=200,
+    search_trace_accesses=400,
+    search_warmup_accesses=100,
+)

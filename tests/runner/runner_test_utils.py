@@ -2,17 +2,10 @@
 
 from __future__ import annotations
 
+from fidelity_utils import TINY_FIDELITY
 from repro.sim.simulator import SimulationConfig
-from repro.systems.fidelity import Fidelity
 
-#: Tiny fidelity so each leaf simulation takes milliseconds.
-TINY_FIDELITY = Fidelity(
-    capacity_scale=1.0 / 64.0,
-    trace_accesses=800,
-    warmup_accesses=200,
-    search_trace_accesses=400,
-    search_warmup_accesses=100,
-)
+__all__ = ["TINY_FIDELITY", "tiny_config"]
 
 
 def tiny_config(**overrides) -> SimulationConfig:

@@ -1,0 +1,71 @@
+"""Tests for the REPRO_CACHE_MAX_BYTES automatic cache prune."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import ExperimentRunner, ExperimentSpec, using_runner
+from repro.runner.runner import CACHE_MAX_BYTES_ENV
+from runner_test_utils import TINY_FIDELITY, tiny_config
+
+
+def _run_plan(tmp_path, **runner_kwargs) -> ExperimentRunner:
+    runner = ExperimentRunner(
+        cache_dir=tmp_path / "cache", max_workers=0, **runner_kwargs
+    )
+    spec = ExperimentSpec(
+        systems=("BL",), applications=("kmeans",), fidelity=TINY_FIDELITY
+    )
+    with using_runner(runner):
+        runner.run_plan(spec)
+    return runner
+
+
+class TestAutoPrune:
+    def test_plan_completion_applies_size_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "1")
+        runner = _run_plan(tmp_path)
+        # The plan stored entries, then the auto-prune capped the cache.
+        assert runner.disk_cache.stores > 0
+        assert runner.disk_cache.size_bytes() <= 1
+
+    def test_unset_variable_leaves_cache_alone(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV, raising=False)
+        runner = _run_plan(tmp_path)
+        assert runner.maybe_auto_prune() == 0
+        assert len(runner.disk_cache) > 0
+
+    def test_generous_cap_keeps_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, str(10**9))
+        runner = _run_plan(tmp_path)
+        assert len(runner.disk_cache) > 0
+
+    def test_unparsable_value_warns_and_skips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "lots")
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache", max_workers=0)
+        with pytest.warns(RuntimeWarning, match="unparsable"):
+            removed = runner.maybe_auto_prune()
+        assert removed == 0
+
+    def test_negative_cap_and_disabled_disk_cache_are_noops(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "-5")
+        runner = _run_plan(tmp_path)
+        assert len(runner.disk_cache) > 0  # negative cap ignored
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
+        memory_only = ExperimentRunner(
+            cache_dir=tmp_path / "other", max_workers=0, use_disk_cache=False
+        )
+        assert memory_only.maybe_auto_prune() == 0
+
+    def test_scenario_runs_also_apply_the_cap(self, tmp_path, monkeypatch):
+        from repro.scenarios import ScenarioEngine, steady
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "1")
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache", max_workers=0)
+        engine = ScenarioEngine(runner=runner, fidelity=TINY_FIDELITY)
+        with using_runner(runner):
+            engine.run(steady(application="kmeans", num_phases=2), "IBL")
+        assert runner.disk_cache.stores > 0
+        assert runner.disk_cache.size_bytes() <= 1

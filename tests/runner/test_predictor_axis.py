@@ -1,0 +1,104 @@
+"""Tests for the declarative predictor axis on ExperimentSpec/ExperimentCell."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.runner import ExperimentRunner, ExperimentSpec, using_runner
+from repro.systems.registry import evaluate_application, get_system
+from runner_test_utils import TINY_FIDELITY
+
+
+class TestSpecExpansion:
+    def test_predictor_axis_fans_out_morpheus_systems_only(self):
+        spec = ExperimentSpec(
+            systems=("BL", "Morpheus-Basic"),
+            applications=("kmeans",),
+            predictors=("bloom", "none", "perfect"),
+        )
+        plan = spec.expand()
+        by_system = {}
+        for cell in plan.cells:
+            by_system.setdefault(cell.system, []).append(cell.predictor)
+        # Baselines have no predictor: one default cell.
+        assert by_system["BL"] == [None]
+        assert by_system["Morpheus-Basic"] == ["bloom", "none", "perfect"]
+
+    def test_default_expansion_keeps_predictor_none(self):
+        plan = ExperimentSpec(
+            systems=("Morpheus-Basic",), applications=("kmeans",)
+        ).expand()
+        assert [cell.predictor for cell in plan.cells] == [None]
+
+    def test_predictors_with_sm_counts_raises(self):
+        with pytest.raises(ValueError, match="predictor axis"):
+            ExperimentSpec(
+                systems=("sweep",),
+                applications=("kmeans",),
+                sm_counts=(10, 20),
+                predictors=("bloom",),
+            )
+
+    def test_empty_predictors_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ExperimentSpec(
+                systems=("Morpheus-Basic",),
+                applications=("kmeans",),
+                predictors=(),
+            )
+
+    def test_paren_named_system_with_predictors_raises(self):
+        # "Morpheus-Basic(perfect)" already pins a predictor; combining it
+        # with the axis would specify the predictor twice.
+        with pytest.raises(ValueError, match="already names a predictor"):
+            ExperimentSpec(
+                systems=("Morpheus-Basic(perfect)",),
+                applications=("kmeans",),
+                predictors=("bloom",),
+            )
+
+
+class TestPredictorExecution:
+    def test_declarative_sweep_matches_name_syntax(self, tmp_path):
+        # The predictor axis must be equivalent to the hand-built
+        # "Morpheus-Basic(<predictor>)" construction the Fig. 13 code used.
+        spec = ExperimentSpec(
+            systems=("Morpheus-Basic",),
+            applications=("kmeans",),
+            fidelity=TINY_FIDELITY,
+            predictors=("bloom", "none"),
+        )
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache", max_workers=0)
+        with using_runner(runner):
+            result = runner.run_plan(spec)
+            by_name = evaluate_application(
+                "Morpheus-Basic(none)", "kmeans", fidelity=TINY_FIDELITY
+            )
+        declarative = result.get("Morpheus-Basic", "kmeans", predictor="none")
+        assert dataclasses.asdict(declarative) == dataclasses.asdict(by_name)
+        # Different predictors genuinely produce different cells.
+        bloom = result.get("Morpheus-Basic", "kmeans", predictor="bloom")
+        assert bloom.system == "Morpheus-Basic"
+        assert declarative.system == "Morpheus-Basic(none)"
+
+    def test_result_get_requires_disambiguation(self, tmp_path):
+        spec = ExperimentSpec(
+            systems=("Morpheus-Basic",),
+            applications=("kmeans",),
+            fidelity=TINY_FIDELITY,
+            predictors=("bloom", "none"),
+        )
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache", max_workers=0)
+        with using_runner(runner):
+            result = runner.run_plan(spec)
+        with pytest.raises(KeyError, match="ambiguous"):
+            result.get("Morpheus-Basic", "kmeans")
+
+    def test_get_system_predictor_override(self):
+        system = get_system("Morpheus-ALL", predictor="perfect")
+        assert system.predictor == "perfect"
+        assert system.name == "Morpheus-ALL(perfect)"
+        with pytest.raises(ValueError, match="predictor"):
+            get_system("BL", predictor="bloom")

@@ -1,0 +1,7 @@
+"""Shared helpers for the scenario test suites (not collected by pytest)."""
+
+from __future__ import annotations
+
+from fidelity_utils import TINY_FIDELITY
+
+__all__ = ["TINY_FIDELITY"]
