@@ -1,14 +1,17 @@
 """CI guard for the scenario engine: transition costs + warm-cache behaviour.
 
-Runs a tiny bursty timeline (and a steady reference) on Morpheus-Basic
-through two fresh runners sharing one cache directory, then asserts the
-scenario contract:
+Runs a tiny bursty timeline (plus a steady reference and an overlapping
+co-run timeline) on Morpheus-Basic through two fresh runners sharing one
+cache directory, then asserts the scenario contract:
 
 * the dynamic capacity manager pays a **measurable** flush/warm-up
   transition cost on the bursty timeline and **zero** on the steady one;
 * a repeated-phase timeline replays each distinct phase at most once;
+* a co-run phase's arbitrated extended-LLC grants never exceed the pooled
+  idle SMs (and match the aggregate split);
 * the warm second run executes **zero** trace replays, records **zero**
-  misses in either cache tier, and is bit-identical to the cold run.
+  misses in either cache tier, and is bit-identical to the cold run —
+  including the multi-resident co-run timeline.
 
 Exits non-zero with a diagnostic if any of that regresses — e.g. phase
 lowering keying on process state, a transition cost leaking into the leaf
@@ -26,9 +29,12 @@ import dataclasses
 import sys
 import tempfile
 
+from repro.gpu.config import RTX3080_CONFIG
 from repro.runner import ExperimentRunner, using_runner
-from repro.scenarios import ScenarioEngine, bursty, steady
+from repro.scenarios import ScenarioEngine, bursty, corun_overlap, steady
 from repro.systems.fidelity import Fidelity
+
+NUM_SMS = RTX3080_CONFIG.num_sms
 
 FIDELITY = Fidelity(
     capacity_scale=1.0 / 32.0,
@@ -40,6 +46,7 @@ FIDELITY = Fidelity(
 
 BURSTY = bursty(bursts=2)
 STEADY = steady(application="kmeans", compute_sms=24)
+CORUN = corun_overlap(rounds=2)
 SYSTEM = "Morpheus-Basic"
 
 
@@ -49,7 +56,8 @@ def run_pass(cache_dir: str):
     with using_runner(runner):
         burst_run = engine.run(BURSTY, SYSTEM)
         steady_run = engine.run(STEADY, SYSTEM)
-    return runner, burst_run, steady_run
+        corun_run = engine.run(CORUN, SYSTEM)
+    return runner, burst_run, steady_run, corun_run
 
 
 def snapshot(result) -> list:
@@ -57,7 +65,15 @@ def snapshot(result) -> list:
     return [
         (
             execution.index,
-            dataclasses.asdict(execution.stats),
+            [
+                (
+                    resident.application,
+                    dataclasses.asdict(resident.grant),
+                    dataclasses.asdict(resident.stats),
+                    resident.instructions,
+                )
+                for resident in execution.residents
+            ],
             dataclasses.asdict(execution.decision.transition),
             execution.instructions,
             execution.compute_cycles,
@@ -70,11 +86,11 @@ def main() -> int:
     cache_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
         prefix="repro-scenario-check-"
     )
-    cold_runner, cold_burst, cold_steady = run_pass(cache_dir)
+    cold_runner, cold_burst, cold_steady, cold_corun = run_pass(cache_dir)
     unique_phases = len({id(e.stats) for e in cold_burst.phases})
     print(
-        f"cold pass: {len(cold_burst)}+{len(cold_steady)} phases, "
-        f"{cold_runner.replays} replays, "
+        f"cold pass: {len(cold_burst)}+{len(cold_steady)}+{len(cold_corun)} "
+        f"phases, {cold_runner.replays} replays, "
         f"bursty transition cycles {cold_burst.transition_cycles:,.0f}"
     )
 
@@ -82,11 +98,21 @@ def main() -> int:
     if cold_runner.replays == 0:
         failures.append("cold pass replayed nothing — cache_dir was not cold?")
     # The bursty timeline has 5 phases but only 2 distinct splits; the
-    # steady one has 4 identical phases sharing one of them.
-    if cold_runner.replays > len({e.stats.num_cache_sms for e in cold_burst.phases}) + 1:
+    # steady one has 4 identical phases sharing one of them; the co-run one
+    # repeats its full/dip phases, each lowering to one leaf per resident.
+    unique_corun_leaves = len(
+        {
+            (resident.application, dataclasses.astuple(resident.grant))
+            for execution in cold_corun.phases
+            for resident in execution.residents
+        }
+    )
+    budget = len({e.stats.num_cache_sms for e in cold_burst.phases}) + 1 + unique_corun_leaves
+    if cold_runner.replays > budget:
         failures.append(
             f"cold pass replayed {cold_runner.replays} traces for "
-            f"{unique_phases} distinct phases — repeated phases re-replayed"
+            f"{unique_phases} distinct bursty phases + {unique_corun_leaves} "
+            f"distinct co-run leaves — repeated phases re-replayed"
         )
     if cold_burst.transition_cycles <= 0:
         failures.append("dynamic policy paid no transition cost on the bursty timeline")
@@ -94,8 +120,22 @@ def main() -> int:
         failures.append(
             f"steady timeline paid {cold_steady.transition_cycles} transition cycles"
         )
+    for execution in cold_corun.phases:
+        if len(execution.residents) != 2:
+            failures.append(
+                f"co-run phase {execution.index} ran {len(execution.residents)} "
+                "residents instead of 2"
+            )
+        idle = NUM_SMS - execution.phase.total_compute_sm_demand
+        pool = execution.decision.split.num_cache_sms
+        granted = sum(r.grant.cache_sms for r in execution.residents)
+        if granted != pool or pool > idle:
+            failures.append(
+                f"co-run phase {execution.index}: grants sum to {granted} "
+                f"for a {pool}-SM pool with {idle} idle SMs"
+            )
 
-    warm_runner, warm_burst, warm_steady = run_pass(cache_dir)
+    warm_runner, warm_burst, warm_steady, warm_corun = run_pass(cache_dir)
     cache = warm_runner.disk_cache
     print(
         f"warm pass: {warm_runner.replays} replays, "
@@ -112,6 +152,8 @@ def main() -> int:
         failures.append("bursty timeline differs between cold and warm passes")
     if snapshot(cold_steady) != snapshot(warm_steady):
         failures.append("steady timeline differs between cold and warm passes")
+    if snapshot(cold_corun) != snapshot(warm_corun):
+        failures.append("co-run timeline differs between cold and warm passes")
 
     if failures:
         for failure in failures:
@@ -119,6 +161,7 @@ def main() -> int:
         return 1
     print(
         "OK: bursty timeline pays transition costs, steady pays none, "
+        "co-run grants stay within the pooled idle SMs, "
         "warm re-run served entirely from the cache, bit-identical"
     )
     return 0

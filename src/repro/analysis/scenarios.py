@@ -12,7 +12,12 @@ turns that into the timeline-level numbers the scenario studies report:
   fills;
 * :func:`transition_overheads` — the flush/warm-up breakdown and its share
   of the timeline;
-* :func:`phase_table` / :func:`compare_runs` — human-readable reports.
+* co-run aggregation — :func:`per_app_timelines` (per-application
+  time-weighted IPC and capacity shares), :func:`weighted_speedup` /
+  :func:`fairness` against solo references, and :func:`contention_breakdown`
+  (per-application cycles lost to co-residency vs transitions);
+* :func:`phase_table` / :func:`corun_table` / :func:`compare_runs` —
+  human-readable reports.
 
 Everything here is pure post-processing of already-cached leaf results:
 re-running an analysis never touches the replay tier.
@@ -21,7 +26,7 @@ re-running an analysis never touches the replay tier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Dict, Mapping, Tuple
 
 from repro.analysis.report import format_table
 from repro.energy.components import ComponentEnergies, DEFAULT_ENERGIES
@@ -108,52 +113,302 @@ def scenario_energy_j(
 ) -> float:
     """Total timeline energy in joules.
 
-    Each phase's leaf energy (computed for the application's full
-    instruction count) is scaled linearly to the phase's share of the
-    timeline — energy is proportional to instructions at a fixed IPC and
-    split — and the DRAM energy of transition traffic is added on top.
-    Static power during the (comparatively short) transition stalls is
-    neglected.
+    Each resident's leaf energy (computed for the application's full
+    instruction count) is scaled linearly to the instructions that resident
+    retired during the phase — energy is proportional to instructions at a
+    fixed IPC and split — and the DRAM energy of transition traffic is
+    added on top.  Static power during the (comparatively short) transition
+    stalls is neglected, and co-run phases sum their residents' scaled leaf
+    energies (a pessimistic bound: each leaf already accounts its own
+    share of the uncore).
     """
     total = 0.0
     for execution in result.phases:
-        breakdown = execution.stats.energy
-        if breakdown is None or execution.stats.instructions <= 0:
-            continue
-        scale = execution.instructions / execution.stats.instructions
-        total += breakdown.total_j * scale
+        for resident in execution.residents:
+            breakdown = resident.stats.energy
+            if breakdown is None or resident.stats.instructions <= 0:
+                continue
+            scale = resident.instructions / resident.stats.instructions
+            total += breakdown.total_j * scale
     return total + transition_overheads(result, energies).dram_energy_j
 
 
 def phase_table(result: ScenarioRunResult) -> str:
-    """Per-phase report of one timeline run (splits, IPC, transition stalls)."""
+    """Per-phase report of one timeline run (splits, IPC, transition stalls).
+
+    Co-run phases print one row per resident: the phase-level columns
+    (gated SMs, cycles, transition stall) appear on the first resident's
+    row, the per-resident columns (compute/cache grant, IPC) on each.
+    """
     rows = []
     for execution in result.phases:
         split = execution.decision.split
         cost = execution.decision.transition
-        rows.append(
-            [
-                execution.index,
-                execution.phase.label or execution.phase.application,
-                execution.phase.application,
-                execution.phase.compute_sm_demand,
-                split.num_compute_sms,
-                split.num_cache_sms,
-                split.num_gated_sms,
-                execution.stats.ipc,
-                execution.compute_cycles,
-                cost.total_cycles,
-            ]
-        )
+        for position, resident in enumerate(execution.residents):
+            first = position == 0
+            rows.append(
+                [
+                    execution.index if first else "",
+                    execution.phase.describe() if first else "",
+                    resident.application,
+                    resident.grant.compute_sms,
+                    resident.grant.cache_sms,
+                    split.num_gated_sms if first else "",
+                    resident.stats.ipc,
+                    execution.compute_cycles if first else "",
+                    cost.total_cycles if first else "",
+                ]
+            )
     title = (
         f"Scenario {result.scenario.name!r} on {result.system} "
         f"({result.policy_name} policy):"
     )
     return format_table(
         [
-            "phase", "label", "app", "demand",
+            "phase", "label", "app",
             "compute", "cache", "gated",
             "IPC", "cycles", "transition",
+        ],
+        rows,
+        title=title,
+    )
+
+
+# -- co-run aggregation --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppTimeline:
+    """One application's aggregate across the phases where it was resident.
+
+    Attributes:
+        application: The application name.
+        instructions: Instructions the application retired over the timeline.
+        resident_cycles: Wall-clock cycles of the phases where it was
+            resident, **including** those phases' transition stalls (every
+            resident sits out a reconfiguration).
+        transition_cycles: The share of ``resident_cycles`` lost to
+            transitions.
+        ipc: Time-weighted IPC: ``instructions / resident_cycles``.
+        slice_ipc: *Equal-slice* IPC — the duration-weight-weighted mean of
+            the application's per-phase leaf IPCs (transition-free).  This
+            is the number to normalize against a solo reference computed
+            the same way
+            (:meth:`~repro.scenarios.engine.ScenarioEngine.solo_reference_ipcs`):
+            phase durations depend on who shares the GPU, so comparing
+            wall-clock IPCs across tenancy configurations mixes throughput
+            with scheduling, while the per-phase means compare like slices.
+        mean_compute_sms: Cycle-weighted mean compute-SM grant.
+        mean_cache_sms: Cycle-weighted mean extended-LLC grant.
+    """
+
+    application: str
+    instructions: float
+    resident_cycles: float
+    transition_cycles: float
+    ipc: float
+    slice_ipc: float
+    mean_compute_sms: float
+    mean_cache_sms: float
+
+
+def per_app_timelines(result: ScenarioRunResult) -> Dict[str, AppTimeline]:
+    """Aggregate one timeline run per application, in first-seen order.
+
+    The building block of the co-run metrics: for a single-tenant timeline
+    it degenerates to one entry whose IPC is the run's time-weighted IPC.
+    """
+    order = result.scenario.applications
+    instructions = {name: 0.0 for name in order}
+    resident_cycles = {name: 0.0 for name in order}
+    transition_cycles = {name: 0.0 for name in order}
+    weighted_ipc = {name: 0.0 for name in order}
+    resident_weight = {name: 0.0 for name in order}
+    compute_sm_cycles = {name: 0.0 for name in order}
+    cache_sm_cycles = {name: 0.0 for name in order}
+    for execution in result.phases:
+        stall = execution.decision.transition.total_cycles
+        weight = execution.phase.duration_weight
+        for resident in execution.residents:
+            name = resident.application
+            instructions[name] += resident.instructions
+            resident_cycles[name] += execution.cycles
+            transition_cycles[name] += stall
+            weighted_ipc[name] += weight * resident.stats.ipc
+            resident_weight[name] += weight
+            compute_sm_cycles[name] += resident.grant.compute_sms * execution.cycles
+            cache_sm_cycles[name] += resident.grant.cache_sms * execution.cycles
+    timelines = {}
+    for name in order:
+        cycles = resident_cycles[name]
+        timelines[name] = AppTimeline(
+            application=name,
+            instructions=instructions[name],
+            resident_cycles=cycles,
+            transition_cycles=transition_cycles[name],
+            ipc=instructions[name] / cycles if cycles > 0 else 0.0,
+            slice_ipc=(
+                weighted_ipc[name] / resident_weight[name]
+                if resident_weight[name] > 0
+                else 0.0
+            ),
+            mean_compute_sms=compute_sm_cycles[name] / cycles if cycles > 0 else 0.0,
+            mean_cache_sms=cache_sm_cycles[name] / cycles if cycles > 0 else 0.0,
+        )
+    return timelines
+
+
+def _normalized_progress(
+    timelines: Mapping[str, AppTimeline], reference_ipc: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-application ``slice_ipc / solo reference`` (the one shared path)."""
+    progress = {}
+    for name, timeline in timelines.items():
+        reference = reference_ipc[name]
+        progress[name] = timeline.slice_ipc / reference if reference > 0 else 0.0
+    return progress
+
+
+def weighted_speedup(
+    result: ScenarioRunResult, reference_ipc: Mapping[str, float]
+) -> float:
+    """Multi-tenant weighted speedup against per-application solo references.
+
+    ``sum_app(shared slice IPC / solo slice IPC)`` — the standard
+    multiprogram throughput metric; equals the number of tenants when
+    co-residency costs nothing, and both sides use the equal-slice
+    aggregation (see :attr:`AppTimeline.slice_ipc`).  ``reference_ipc``
+    typically comes from
+    :meth:`~repro.scenarios.engine.ScenarioEngine.solo_reference_ipcs`.
+    """
+    return sum(_normalized_progress(per_app_timelines(result), reference_ipc).values())
+
+
+def fairness(
+    result: ScenarioRunResult, reference_ipc: Mapping[str, float]
+) -> float:
+    """Min/max ratio of the per-application normalized progress (1 = fair).
+
+    The usual co-run fairness index: each application's shared-mode IPC is
+    normalized to its solo reference, and the worst-treated tenant's
+    progress is divided by the best-treated one's.
+    """
+    ratios = list(
+        _normalized_progress(per_app_timelines(result), reference_ipc).values()
+    )
+    if not ratios or max(ratios) <= 0:
+        return 0.0
+    return min(ratios) / max(ratios)
+
+
+@dataclass(frozen=True)
+class AppContention:
+    """One application's co-residency cost against its solo reference.
+
+    ``contention_cycles`` is the extra time the application's retired
+    instructions took at its shared equal-slice IPC compared to retiring
+    them at the solo reference IPC (negative when sharing beat the
+    reference); ``transition_cycles`` is the part of its resident time
+    spent in reconfiguration stalls, reported separately.
+    """
+
+    application: str
+    ipc: float
+    reference_ipc: float
+    normalized_progress: float
+    contention_cycles: float
+    transition_cycles: float
+
+
+@dataclass(frozen=True)
+class ContentionBreakdown:
+    """Contention-overhead breakdown of one co-run timeline."""
+
+    per_app: Tuple[AppContention, ...]
+    weighted_speedup: float
+    fairness: float
+
+    @property
+    def contention_cycles(self) -> float:
+        """Total extra cycles across applications vs their solo references."""
+        return sum(app.contention_cycles for app in self.per_app)
+
+
+def _breakdown_from(
+    timelines: Mapping[str, AppTimeline], reference_ipc: Mapping[str, float]
+) -> ContentionBreakdown:
+    """Build a :class:`ContentionBreakdown` from one timeline aggregation."""
+    progress = _normalized_progress(timelines, reference_ipc)
+    per_app = []
+    for name, timeline in timelines.items():
+        reference = reference_ipc[name]
+        shared_cycles = (
+            timeline.instructions / timeline.slice_ipc
+            if timeline.slice_ipc > 0
+            else 0.0
+        )
+        ideal_cycles = timeline.instructions / reference if reference > 0 else 0.0
+        per_app.append(
+            AppContention(
+                application=name,
+                ipc=timeline.slice_ipc,
+                reference_ipc=reference,
+                normalized_progress=progress[name],
+                contention_cycles=shared_cycles - ideal_cycles,
+                transition_cycles=timeline.transition_cycles,
+            )
+        )
+    ratios = list(progress.values())
+    return ContentionBreakdown(
+        per_app=tuple(per_app),
+        weighted_speedup=sum(ratios),
+        fairness=min(ratios) / max(ratios) if ratios and max(ratios) > 0 else 0.0,
+    )
+
+
+def contention_breakdown(
+    result: ScenarioRunResult, reference_ipc: Mapping[str, float]
+) -> ContentionBreakdown:
+    """Break one timeline's co-residency cost down per application.
+
+    Pure post-processing: the references are per-application solo IPCs
+    (see :meth:`~repro.scenarios.engine.ScenarioEngine.solo_reference_ipcs`),
+    so computing the breakdown never runs a simulation.
+    """
+    return _breakdown_from(per_app_timelines(result), reference_ipc)
+
+
+def corun_table(
+    result: ScenarioRunResult, reference_ipc: Mapping[str, float]
+) -> str:
+    """Per-application co-run report (shares, IPC, progress, contention)."""
+    timelines = per_app_timelines(result)
+    breakdown = _breakdown_from(timelines, reference_ipc)
+    rows = []
+    for app in breakdown.per_app:
+        timeline = timelines[app.application]
+        rows.append(
+            [
+                app.application,
+                timeline.mean_compute_sms,
+                timeline.mean_cache_sms,
+                app.ipc,
+                app.reference_ipc,
+                f"{app.normalized_progress:.3f}",
+                app.contention_cycles,
+                app.transition_cycles,
+            ]
+        )
+    title = (
+        f"Co-run {result.scenario.name!r} on {result.system} "
+        f"({result.policy_name} policy): weighted speedup "
+        f"{breakdown.weighted_speedup:.3f}, fairness {breakdown.fairness:.3f}"
+    )
+    return format_table(
+        [
+            "app", "mean compute", "mean cache",
+            "IPC", "solo IPC", "progress",
+            "contention cycles", "transition cycles",
         ],
         rows,
         title=title,

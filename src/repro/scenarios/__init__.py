@@ -14,8 +14,10 @@ per-phase tables) lives in :mod:`repro.analysis.scenarios`.
 """
 
 from repro.scenarios.engine import (
+    LoweredLeaf,
     LoweredPhase,
     PhaseExecution,
+    ResidentExecution,
     SCENARIO_SYSTEMS,
     ScenarioEngine,
     ScenarioRunResult,
@@ -23,35 +25,49 @@ from repro.scenarios.engine import (
 from repro.scenarios.library import (
     SCENARIO_LIBRARY,
     bursty,
+    corun_overlap,
     corun_pair,
     get_scenario,
+    mixed_tenancy,
     ramp,
     steady,
 )
 from repro.scenarios.policy import (
+    ARBITRATION_MODES,
     CapacityPolicy,
     DynamicCapacityManager,
     FixedSplitPolicy,
     NO_TRANSITION,
     PhaseDecision,
+    ResidentGrant,
     TransitionCost,
     TransitionCostModel,
+    arbitrate_extended_llc,
+    combine_costs,
+    grant_transition,
+    llc_capacity_sensitivity,
     max_cache_mode_sms,
 )
 from repro.scenarios.spec import (
+    Residency,
     SCENARIO_SCHEMA_VERSION,
     ScenarioPhase,
     ScenarioSpec,
 )
 
 __all__ = [
+    "ARBITRATION_MODES",
     "CapacityPolicy",
     "DynamicCapacityManager",
     "FixedSplitPolicy",
+    "LoweredLeaf",
     "LoweredPhase",
     "NO_TRANSITION",
     "PhaseDecision",
     "PhaseExecution",
+    "Residency",
+    "ResidentExecution",
+    "ResidentGrant",
     "SCENARIO_LIBRARY",
     "SCENARIO_SCHEMA_VERSION",
     "SCENARIO_SYSTEMS",
@@ -61,10 +77,16 @@ __all__ = [
     "ScenarioSpec",
     "TransitionCost",
     "TransitionCostModel",
+    "arbitrate_extended_llc",
     "bursty",
+    "combine_costs",
+    "corun_overlap",
     "corun_pair",
     "get_scenario",
+    "grant_transition",
+    "llc_capacity_sensitivity",
     "max_cache_mode_sms",
+    "mixed_tenancy",
     "ramp",
     "steady",
 ]

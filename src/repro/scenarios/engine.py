@@ -35,6 +35,7 @@ from repro.scenarios.policy import (
     DynamicCapacityManager,
     NO_TRANSITION,
     PhaseDecision,
+    ResidentGrant,
     TransitionCostModel,
 )
 from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION, ScenarioPhase, ScenarioSpec
@@ -51,31 +52,90 @@ _MORPHEUS_VARIANTS: Dict[str, MorpheusVariant] = {
 
 
 @dataclass(frozen=True)
+class LoweredLeaf:
+    """One resident's leaf simulation within a lowered phase."""
+
+    grant: ResidentGrant
+    config: SimulationConfig
+
+    @property
+    def application(self) -> str:
+        """The resident application this leaf simulates."""
+        return self.grant.application
+
+
+@dataclass(frozen=True)
 class LoweredPhase:
-    """One phase lowered to a concrete leaf simulation."""
+    """One phase lowered to concrete leaf simulations (one per resident)."""
 
     index: int
     phase: ScenarioPhase
     decision: PhaseDecision
-    config: SimulationConfig
+    leaves: Tuple[LoweredLeaf, ...]
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The single leaf config of a single-tenant phase (convenience)."""
+        if len(self.leaves) != 1:
+            raise ValueError(
+                f"co-run phase {self.phase.describe()!r} lowers to "
+                f"{len(self.leaves)} leaves; use .leaves"
+            )
+        return self.leaves[0].config
+
+
+@dataclass(frozen=True)
+class ResidentExecution:
+    """One resident's executed leaf within a phase.
+
+    ``instructions`` is the share of the phase's instruction budget this
+    resident retired — residents run *concurrently* for the whole phase, so
+    each contributes in proportion to its leaf IPC.
+    """
+
+    grant: ResidentGrant
+    stats: SimulationStats
+    instructions: float
+
+    @property
+    def application(self) -> str:
+        """The resident application."""
+        return self.grant.application
+
+    @property
+    def ipc(self) -> float:
+        """The resident's modelled IPC at its granted shares."""
+        return self.stats.ipc
 
 
 @dataclass(frozen=True)
 class PhaseExecution:
-    """One executed phase: its lowered form plus the scored leaf result.
+    """One executed phase: its lowered form plus the scored leaf results.
 
     ``instructions`` is the phase's share of the timeline
-    (``duration_weight * instructions_per_weight``); ``compute_cycles`` is
-    the time spent retiring them at the leaf's modelled IPC.  The
-    transition cost into the phase lives in ``decision.transition``.
+    (``duration_weight * instructions_per_weight``), retired collectively by
+    the phase's residents; ``compute_cycles`` is the wall-clock time that
+    takes at their aggregate IPC (for a single-tenant phase, exactly
+    ``instructions / ipc``).  The transition cost into the phase lives in
+    ``decision.transition``.
     """
 
     index: int
     phase: ScenarioPhase
     decision: PhaseDecision
-    stats: SimulationStats
+    residents: Tuple[ResidentExecution, ...]
     instructions: float
     compute_cycles: float
+
+    @property
+    def stats(self) -> SimulationStats:
+        """The single leaf stats of a single-tenant phase (convenience)."""
+        if len(self.residents) != 1:
+            raise ValueError(
+                f"co-run phase {self.phase.describe()!r} has "
+                f"{len(self.residents)} resident results; use .residents"
+            )
+        return self.residents[0].stats
 
     @property
     def cycles(self) -> float:
@@ -163,33 +223,35 @@ class ScenarioEngine:
         system: str,
         policy: Optional[CapacityPolicy] = None,
     ) -> List[LoweredPhase]:
-        """Lower every phase of ``scenario`` to a leaf config (no simulation).
+        """Lower every phase of ``scenario`` to leaf configs (no simulation).
 
-        This is the hot path of scenario execution bookkeeping: policy
-        planning plus config construction, benchmarked separately from the
-        (cached) leaf simulations.
+        A single-tenant phase lowers to one leaf; a co-run phase lowers to
+        **one leaf per resident**, each simulated at the resident's granted
+        compute-SM share and its arbitrated slice of the pooled extended-LLC
+        capacity.  This is the hot path of scenario execution bookkeeping:
+        policy planning plus config construction, benchmarked separately
+        from the (cached) leaf simulations.
         """
         for phase in scenario.phases:
-            if phase.compute_sm_demand > self.gpu.num_sms:
+            if phase.total_compute_sm_demand > self.gpu.num_sms:
                 raise ValueError(
-                    f"phase {phase.label or phase.application!r} demands "
-                    f"{phase.compute_sm_demand} SMs but the GPU has {self.gpu.num_sms}"
+                    f"phase {phase.describe()!r} demands "
+                    f"{phase.total_compute_sm_demand} SMs but the GPU has "
+                    f"{self.gpu.num_sms}"
                 )
         profiles = self._profiles(scenario)
         decisions, morpheus = self._plan(scenario, system, policy, profiles)
         lowered = []
         for index, (phase, decision) in enumerate(zip(scenario.phases, decisions)):
-            split = decision.split
-            lowered.append(
-                LoweredPhase(
-                    index=index,
-                    phase=phase,
-                    decision=decision,
+            grants = self._decision_grants(phase, decision)
+            leaves = tuple(
+                LoweredLeaf(
+                    grant=grant,
                     config=SimulationConfig(
                         gpu=self.gpu,
-                        morpheus=morpheus if split.num_cache_sms > 0 else None,
-                        num_compute_sms=split.num_compute_sms,
-                        num_cache_sms=split.num_cache_sms,
+                        morpheus=morpheus if grant.cache_sms > 0 else None,
+                        num_compute_sms=grant.compute_sms,
+                        num_cache_sms=grant.cache_sms,
                         power_gate_unused=system != "BL",
                         capacity_scale=self.fidelity.capacity_scale,
                         trace_accesses=self.fidelity.trace_accesses,
@@ -198,8 +260,59 @@ class ScenarioEngine:
                         seed=self.seed,
                     ),
                 )
+                for grant in grants
+            )
+            lowered.append(
+                LoweredPhase(
+                    index=index, phase=phase, decision=decision, leaves=leaves
+                )
             )
         return lowered
+
+    @staticmethod
+    def _decision_grants(
+        phase: ScenarioPhase, decision: PhaseDecision
+    ) -> Tuple[ResidentGrant, ...]:
+        """The per-resident grants of one decision, validated against the phase.
+
+        Policies that predate co-run support may omit grants for
+        single-tenant phases; the engine synthesizes the obvious one-entry
+        breakdown from the aggregate split.  Explicit grants must cover
+        exactly the phase's residents at their demanded compute shares, and
+        their pooled cache SMs must match the aggregate split.
+        """
+        split = decision.split
+        if not decision.grants:
+            if phase.is_corun:
+                raise ValueError(
+                    f"co-run phase {phase.describe()!r} needs per-resident "
+                    "grants, but the policy returned none"
+                )
+            return (
+                ResidentGrant(
+                    application=phase.application,
+                    compute_sms=split.num_compute_sms,
+                    cache_sms=split.num_cache_sms,
+                ),
+            )
+        grants = decision.grants
+        granted = {grant.application: grant for grant in grants}
+        demanded = {r.application: r.compute_sm_demand for r in phase.residents}
+        if set(granted) != set(demanded) or any(
+            granted[app].compute_sms != demanded[app] for app in demanded
+        ):
+            raise ValueError(
+                f"phase {phase.describe()!r}: per-resident grants "
+                f"{[(g.application, g.compute_sms) for g in grants]} do not "
+                f"match the residency list {sorted(demanded.items())}"
+            )
+        if sum(grant.cache_sms for grant in grants) != split.num_cache_sms:
+            raise ValueError(
+                f"phase {phase.describe()!r}: resident cache grants sum to "
+                f"{sum(g.cache_sms for g in grants)} but the split allocates "
+                f"{split.num_cache_sms} cache-mode SMs"
+            )
+        return grants
 
     def _plan(
         self,
@@ -215,16 +328,24 @@ class ScenarioEngine:
             decisions = [
                 PhaseDecision(
                     split=MorpheusOperatingPoint(
-                        num_compute_sms=phase.compute_sm_demand,
+                        num_compute_sms=phase.total_compute_sm_demand,
                         num_cache_sms=0,
                         # BL keeps idle SMs active; IBL gates them.
                         num_gated_sms=(
-                            self.gpu.num_sms - phase.compute_sm_demand
+                            self.gpu.num_sms - phase.total_compute_sm_demand
                             if system == "IBL"
                             else 0
                         ),
                     ),
                     transition=NO_TRANSITION,
+                    grants=tuple(
+                        ResidentGrant(
+                            application=residency.application,
+                            compute_sms=residency.compute_sm_demand,
+                            cache_sms=0,
+                        )
+                        for residency in phase.residents
+                    ),
                 )
                 for phase in scenario.phases
             ]
@@ -262,7 +383,12 @@ class ScenarioEngine:
         can lower to identical configs and must not share a result — and
         executed as **one** replay-pooled batch, so repeated phases cost one
         leaf execution and parallel runners replay distinct leaves
-        concurrently even across applications.
+        concurrently even across applications and residents.
+
+        Co-run phases run their residents *concurrently*: the phase retires
+        its instruction budget collectively, each resident contributing in
+        proportion to its leaf IPC, and the phase's wall-clock cycles are
+        the budget over the residents' aggregate IPC.
         """
         start = time.perf_counter()
         runner = self._runner()
@@ -271,11 +397,12 @@ class ScenarioEngine:
 
         unique: List[Tuple[str, SimulationConfig]] = []
         seen = set()
-        for leaf in lowered:
-            key = (leaf.phase.application, leaf.config)
-            if key not in seen:
-                seen.add(key)
-                unique.append(key)
+        for phase in lowered:
+            for leaf in phase.leaves:
+                key = (leaf.application, leaf.config)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(key)
         batch = runner.run_leaves(
             [(profiles[application], config) for application, config in unique]
         )
@@ -284,17 +411,31 @@ class ScenarioEngine:
         )
 
         executions = []
-        for leaf in lowered:
-            stats = stats_by_leaf[(leaf.phase.application, leaf.config)]
-            instructions = leaf.phase.duration_weight * scenario.instructions_per_weight
+        for phase in lowered:
+            leaf_stats = [
+                stats_by_leaf[(leaf.application, leaf.config)]
+                for leaf in phase.leaves
+            ]
+            instructions = (
+                phase.phase.duration_weight * scenario.instructions_per_weight
+            )
+            aggregate_ipc = sum(stats.ipc for stats in leaf_stats)
+            compute_cycles = instructions / max(aggregate_ipc, 1e-9)
             executions.append(
                 PhaseExecution(
-                    index=leaf.index,
-                    phase=leaf.phase,
-                    decision=leaf.decision,
-                    stats=stats,
+                    index=phase.index,
+                    phase=phase.phase,
+                    decision=phase.decision,
+                    residents=tuple(
+                        ResidentExecution(
+                            grant=leaf.grant,
+                            stats=stats,
+                            instructions=stats.ipc * compute_cycles,
+                        )
+                        for leaf, stats in zip(phase.leaves, leaf_stats)
+                    ),
                     instructions=instructions,
-                    compute_cycles=instructions / max(stats.ipc, 1e-9),
+                    compute_cycles=compute_cycles,
                 )
             )
         runner.maybe_auto_prune()
@@ -324,6 +465,63 @@ class ScenarioEngine:
     ) -> Dict[str, ScenarioRunResult]:
         """Run ``scenario`` on several systems; ``{system: result}``."""
         return {system: self.run(scenario, system, policy) for system in systems}
+
+    def solo_reference_ipcs(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy] = None,
+    ) -> Dict[str, float]:
+        """Per-application solo reference IPCs for co-run metrics.
+
+        For every application in ``scenario``, runs the timeline that
+        application would see **alone**: only the phases where it is
+        resident, at its own compute-SM demand, with the whole idle
+        remainder of the GPU available to the capacity policy.  The
+        reference is the duration-weight-weighted mean of the solo leaf
+        IPCs — the same *equal-slice* aggregation
+        :func:`repro.analysis.scenarios.per_app_timelines` uses for the
+        shared run, so normalized progress compares each phase like for
+        like (transition stalls are reported separately on both sides).
+        Solo leaves flow through the same two-phase cache as everything
+        else, so warm re-runs replay nothing.
+        """
+        references: Dict[str, float] = {}
+        for application in scenario.applications:
+            phases = tuple(
+                ScenarioPhase(
+                    application=application,
+                    compute_sm_demand=next(
+                        residency.compute_sm_demand
+                        for residency in phase.residents
+                        if residency.application == application
+                    ),
+                    duration_weight=phase.duration_weight,
+                    label=phase.label,
+                )
+                for phase in scenario.phases
+                if application in phase.applications
+            )
+            solo = ScenarioSpec(
+                name=f"{scenario.name}:{application}-solo",
+                phases=phases,
+                instructions_per_weight=scenario.instructions_per_weight,
+                description=f"{application}'s residencies of {scenario.name!r}, alone",
+            )
+            result = self.run(solo, system, policy)
+            total_weight = sum(
+                execution.phase.duration_weight for execution in result.phases
+            )
+            references[application] = (
+                sum(
+                    execution.phase.duration_weight * execution.stats.ipc
+                    for execution in result.phases
+                )
+                / total_weight
+                if total_weight > 0
+                else 0.0
+            )
+        return references
 
     def run_key(
         self,

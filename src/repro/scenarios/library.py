@@ -13,6 +13,12 @@ The shapes mirror how idle GPU capacity actually comes and goes:
   to hand borrowed SMs back to compute, and each lull lets it re-borrow them.
 * ``corun_pair`` — two applications alternating ownership of the GPU, a
   time-sliced co-run mix.
+* ``corun_overlap`` — two applications **concurrently resident**, one of
+  them periodically dipping its compute demand: the true multi-tenant
+  setting where the capacity policies arbitrate the pooled idle-SM
+  extended-LLC capacity between live tenants.
+* ``mixed_tenancy`` — tenants arriving and departing: solo phases of each
+  application around overlapping co-run phases.
 * ``ramp`` (alias ``diurnal``) — demand climbing to a peak and easing back
   down, a compressed diurnal load curve.
 """
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.scenarios.spec import ScenarioPhase, ScenarioSpec
+from repro.scenarios.spec import Residency, ScenarioPhase, ScenarioSpec
 
 
 def steady(
@@ -152,6 +158,118 @@ def corun_pair(
     )
 
 
+def corun_overlap(
+    application_a: str = "spmv",
+    application_b: str = "cfd",
+    sms_a: int = 28,
+    sms_b: int = 24,
+    dip_sms_b: int = 8,
+    rounds: int = 2,
+    full_weight: float = 1.0,
+    dip_weight: float = 1.0,
+) -> ScenarioSpec:
+    """Two concurrently resident applications; B's demand periodically dips.
+
+    Every phase keeps **both** applications resident — this is the
+    overlapping co-run the time-sliced ``corun_pair`` cannot express.  In
+    the full phases the pooled idle capacity is small; in each dip phase B
+    releases compute SMs, the pool grows, and the arbitration mode decides
+    which tenant's extended LLC benefits.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    if not 0 < dip_sms_b < sms_b:
+        raise ValueError("dip_sms_b must be positive and below sms_b")
+    phases: List[ScenarioPhase] = []
+    for index in range(rounds):
+        phases.append(
+            ScenarioPhase(
+                residents=(
+                    Residency(application_a, sms_a),
+                    Residency(application_b, sms_b),
+                ),
+                duration_weight=full_weight,
+                label=f"full-{index}",
+            )
+        )
+        phases.append(
+            ScenarioPhase(
+                residents=(
+                    Residency(application_a, sms_a),
+                    Residency(application_b, dip_sms_b),
+                ),
+                duration_weight=dip_weight,
+                label=f"dip-{index}",
+            )
+        )
+    return ScenarioSpec(
+        name="corun_overlap",
+        phases=tuple(phases),
+        description=(
+            f"{application_a} ({sms_a} SMs) and {application_b} "
+            f"({sms_b}/{dip_sms_b} SMs) concurrently resident, {rounds} rounds"
+        ),
+    )
+
+
+def mixed_tenancy(
+    application_a: str = "kmeans",
+    application_b: str = "cfd",
+    solo_sms: int = 48,
+    shared_sms_a: int = 30,
+    shared_sms_b: int = 24,
+    rounds: int = 1,
+    solo_weight: float = 1.0,
+    shared_weight: float = 2.0,
+) -> ScenarioSpec:
+    """Tenants arriving and departing: solo A, A+B overlap, solo B.
+
+    Models a multi-tenant GPU whose population changes: A runs alone, B
+    arrives (both shrink to their shared shares and the policies arbitrate
+    the pooled idle capacity between them), then A departs and B runs
+    alone.  Every tenancy-change boundary moves extended-LLC ownership, so
+    per-resident transition accounting is exercised in both directions.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    phases: List[ScenarioPhase] = []
+    for index in range(rounds):
+        phases.append(
+            ScenarioPhase(
+                application=application_a,
+                compute_sm_demand=solo_sms,
+                duration_weight=solo_weight,
+                label=f"{application_a}-solo-{index}",
+            )
+        )
+        phases.append(
+            ScenarioPhase(
+                residents=(
+                    Residency(application_a, shared_sms_a),
+                    Residency(application_b, shared_sms_b),
+                ),
+                duration_weight=shared_weight,
+                label=f"shared-{index}",
+            )
+        )
+        phases.append(
+            ScenarioPhase(
+                application=application_b,
+                compute_sm_demand=solo_sms,
+                duration_weight=solo_weight,
+                label=f"{application_b}-solo-{index}",
+            )
+        )
+    return ScenarioSpec(
+        name="mixed_tenancy",
+        phases=tuple(phases),
+        description=(
+            f"{application_a} solo, {application_a}+{application_b} overlap, "
+            f"{application_b} solo ({rounds} rounds)"
+        ),
+    )
+
+
 def ramp(
     application: str = "spmv",
     low_sms: int = 10,
@@ -197,6 +315,8 @@ SCENARIO_LIBRARY: Dict[str, Callable[..., ScenarioSpec]] = {
     "steady": steady,
     "bursty": bursty,
     "corun_pair": corun_pair,
+    "corun_overlap": corun_overlap,
+    "mixed_tenancy": mixed_tenancy,
     "ramp": ramp,
     "diurnal": ramp,
 }

@@ -27,15 +27,93 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import MorpheusConfig
 from repro.gpu.config import GPUConfig
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import Residency, ScenarioPhase, ScenarioSpec
 from repro.systems.morpheus_system import MorpheusOperatingPoint
 from repro.workloads.applications import ApplicationProfile
 
 KIB = 1024
+
+#: Supported extended-LLC arbitration modes for multi-resident phases.
+ARBITRATION_MODES: Tuple[str, ...] = ("proportional", "sensitivity")
+
+
+def _validate_arbitration(mode: str) -> str:
+    """Validate an arbitration-mode name (shared by policies and arbiter)."""
+    if mode not in ARBITRATION_MODES:
+        valid = ", ".join(ARBITRATION_MODES)
+        raise ValueError(f"unknown arbitration mode {mode!r}; expected one of: {valid}")
+    return mode
+
+
+def llc_capacity_sensitivity(profile: ApplicationProfile) -> float:
+    """How much one application benefits from extra LLC capacity, per SM.
+
+    The FUSE-style proxy: the fraction of instructions that miss the L1 and
+    carry temporal reuse — traffic an extended LLC can actually capture.
+    Streaming traffic (no reuse) is capacity-insensitive whatever the cache
+    size, so it is excluded.
+    """
+    return (
+        profile.memory_fraction
+        * (1.0 - profile.l1_hit_rate)
+        * (1.0 - profile.streaming_fraction)
+    )
+
+
+def arbitrate_extended_llc(
+    pool_sms: int,
+    residents: Sequence[Residency],
+    profiles: Mapping[str, ApplicationProfile],
+    mode: str = "proportional",
+) -> Dict[str, int]:
+    """Split ``pool_sms`` cache-mode SMs across a phase's residents.
+
+    Modes:
+
+    * ``"proportional"`` — grants follow each resident's compute-SM share
+      (more SMs generate more LLC traffic);
+    * ``"sensitivity"`` — grants follow compute share **weighted by**
+      :func:`llc_capacity_sensitivity`, steering pooled capacity toward the
+      residents whose traffic an extended LLC can actually capture.
+
+    Uses largest-remainder apportionment with residency-order tie-breaking,
+    so grants are deterministic integers that sum to exactly ``pool_sms``
+    (never more than the pooled idle capacity).
+    """
+    _validate_arbitration(mode)
+    if pool_sms < 0:
+        raise ValueError("pool_sms must be non-negative")
+    if mode == "sensitivity":
+        weights = [
+            residency.compute_sm_demand
+            * llc_capacity_sensitivity(profiles[residency.application])
+            for residency in residents
+        ]
+        if sum(weights) <= 0.0:
+            # All residents fully streaming: degrade continuously to the
+            # proportional split rather than jumping to equal shares.
+            weights = [float(residency.compute_sm_demand) for residency in residents]
+    else:
+        weights = [float(residency.compute_sm_demand) for residency in residents]
+    total = sum(weights)
+    quotas = [pool_sms * weight / total for weight in weights]
+    grants = [int(quota) for quota in quotas]
+    leftover = pool_sms - sum(grants)
+    # Hand the leftover SMs to the largest fractional parts, residency order
+    # breaking ties (sort is stable, so equal remainders keep their order).
+    by_remainder = sorted(
+        range(len(residents)), key=lambda i: quotas[i] - grants[i], reverse=True
+    )
+    for index in by_remainder[:leftover]:
+        grants[index] += 1
+    return {
+        residency.application: grant
+        for residency, grant in zip(residents, grants)
+    }
 
 
 @dataclass(frozen=True)
@@ -209,17 +287,105 @@ class TransitionCostModel:
         )
 
 
+def combine_costs(costs: Sequence[TransitionCost]) -> TransitionCost:
+    """Sum several transition costs into one phase-boundary charge.
+
+    Cycles are summed (flushes and warm-ups of different residents share the
+    DRAM channels, so charging them serially is the same deliberately
+    pessimistic bound :meth:`TransitionCostModel.warmup_cost` documents).
+    """
+    costs = [cost for cost in costs if not cost.is_zero]
+    if not costs:
+        return NO_TRANSITION
+    return TransitionCost(
+        flush_cycles=sum(cost.flush_cycles for cost in costs),
+        warmup_cycles=sum(cost.warmup_cycles for cost in costs),
+        flushed_dirty_bytes=sum(cost.flushed_dirty_bytes for cost in costs),
+        warmup_fill_bytes=sum(cost.warmup_fill_bytes for cost in costs),
+        reclaimed_sms=sum(cost.reclaimed_sms for cost in costs),
+        added_sms=sum(cost.added_sms for cost in costs),
+    )
+
+
+@dataclass(frozen=True)
+class ResidentGrant:
+    """One resident's share of a phase: compute SMs plus extended-LLC SMs."""
+
+    application: str
+    compute_sms: int
+    cache_sms: int
+
+    def __post_init__(self) -> None:
+        if self.compute_sms <= 0:
+            raise ValueError("compute_sms must be positive")
+        if self.cache_sms < 0:
+            raise ValueError("cache_sms must be non-negative")
+
+
 @dataclass(frozen=True)
 class PhaseDecision:
-    """One phase's chosen SM split plus the cost of transitioning into it."""
+    """One phase's chosen SM split plus the cost of transitioning into it.
+
+    ``grants`` carries the per-resident breakdown of the split: each
+    resident's compute-SM share and its arbitrated slice of the pooled
+    extended-LLC capacity.  Policies that predate co-run support may leave
+    it empty for single-tenant phases — the engine synthesizes the obvious
+    one-entry breakdown — but a co-run phase requires explicit grants.
+    """
 
     split: MorpheusOperatingPoint
     transition: TransitionCost = NO_TRANSITION
+    grants: Tuple[ResidentGrant, ...] = ()
 
 
 def max_cache_mode_sms(gpu: GPUConfig, morpheus: MorpheusConfig) -> int:
     """The §4.1.3 cap on cache-mode SMs (at most 75 % of the GPU)."""
     return int(gpu.num_sms * morpheus.max_cache_mode_fraction)
+
+
+def grant_transition(
+    model: TransitionCostModel,
+    gpu: GPUConfig,
+    previous: Mapping[str, int],
+    current: Mapping[str, int],
+    profiles: Mapping[str, ApplicationProfile],
+) -> TransitionCost:
+    """Per-resident transition cost between two phases' extended-LLC grants.
+
+    ``previous``/``current`` map each resident application to its granted
+    cache-mode SMs.  A resident whose grant shrank — or who departed, which
+    orphans its contents outright — flushes the lost SMs' dirty data with
+    *its own* write mix; a resident whose grant grew (or who just arrived)
+    warms the gained capacity from DRAM.  For single-tenant timelines this
+    reproduces the classic accounting exactly: a pure resize flushes/warms
+    the delta, and an application change flushes the whole outgoing
+    allocation and re-warms the whole incoming one.
+    """
+    costs: List[TransitionCost] = []
+    for application, previous_sms in previous.items():
+        shrink = previous_sms - current.get(application, 0)
+        if shrink > 0:
+            costs.append(model.flush_cost(gpu, shrink, profiles[application]))
+    warm_sms = sum(
+        max(0, granted - previous.get(application, 0))
+        for application, granted in current.items()
+    )
+    costs.append(model.warmup_cost(gpu, warm_sms))
+    return combine_costs(costs)
+
+
+def _phase_grants(
+    phase: ScenarioPhase, shares: Mapping[str, int]
+) -> Tuple[ResidentGrant, ...]:
+    """Materialize one phase's residency list into grants."""
+    return tuple(
+        ResidentGrant(
+            application=residency.application,
+            compute_sms=residency.compute_sm_demand,
+            cache_sms=shares[residency.application],
+        )
+        for residency in phase.residents
+    )
 
 
 class CapacityPolicy(abc.ABC):
@@ -267,9 +433,22 @@ class FixedSplitPolicy(CapacityPolicy):
     dynamic manager would for an unchanged allocation — keeping
     static-vs-dynamic comparisons about *capacity adaptation*, not about
     asymmetric accounting.
+
+    Under a co-run phase the static pool is arbitrated across the residents
+    (see :func:`arbitrate_extended_llc`); grant ownership changes between
+    phases — a resident departing, arriving or seeing its slice move — pay
+    the same per-resident flush/warm-up as they would under the dynamic
+    manager.
+
+    Args:
+        arbitration: How the pool is split across a co-run phase's
+            residents (``"proportional"`` or ``"sensitivity"``).
     """
 
     name = "static"
+
+    def __init__(self, arbitration: str = "proportional") -> None:
+        self.arbitration = _validate_arbitration(arbitration)
 
     def plan(
         self,
@@ -280,27 +459,27 @@ class FixedSplitPolicy(CapacityPolicy):
         transition_model: TransitionCostModel,
     ) -> List[PhaseDecision]:
         worst_idle = gpu.num_sms - scenario.max_compute_sm_demand
-        cache_sms = max(0, min(worst_idle, max_cache_mode_sms(gpu, morpheus)))
+        pool = max(0, min(worst_idle, max_cache_mode_sms(gpu, morpheus)))
         decisions: List[PhaseDecision] = []
-        previous_application: Optional[str] = None
+        previous_shares: Dict[str, int] = {}
         for index, phase in enumerate(scenario.phases):
-            if index == 0 or phase.application == previous_application:
+            shares = arbitrate_extended_llc(
+                pool, phase.residents, profiles, self.arbitration
+            )
+            if index == 0:
                 transition = NO_TRANSITION
             else:
-                transition = transition_model.transition(
-                    gpu,
-                    previous_cache_sms=cache_sms,
-                    new_cache_sms=cache_sms,
-                    outgoing_profile=profiles[previous_application],
-                    application_changed=True,
+                transition = grant_transition(
+                    transition_model, gpu, previous_shares, shares, profiles
                 )
             decisions.append(
                 PhaseDecision(
-                    split=self._split(gpu, phase.compute_sm_demand, cache_sms),
+                    split=self._split(gpu, phase.total_compute_sm_demand, pool),
                     transition=transition,
+                    grants=_phase_grants(phase, shares),
                 )
             )
-            previous_application = phase.application
+            previous_shares = shares
         return decisions
 
 
@@ -315,20 +494,31 @@ class DynamicCapacityManager(CapacityPolicy):
     first phase is free — the initial split is configured before the
     timeline starts, like the static policies' offline setup.
 
+    Under a co-run phase the pooled allocation is arbitrated across the
+    residents (see :func:`arbitrate_extended_llc`) and transitions are
+    accounted **per resident**: a resident whose grant shrinks (or who
+    departs) flushes exactly the lost SMs once with its own write mix, a
+    resident whose grant grows (or who arrives) warms the gained capacity.
+
     Args:
-        hysteresis_sms: Allocation changes of at most this many SMs are
-            skipped (the previous split is kept) when the previous
+        hysteresis_sms: Pooled-allocation changes of at most this many SMs
+            are skipped (the previous pool is kept) when the previous
             allocation still fits the new phase's idle capacity — damping
             reactions to small demand wiggles that would not pay for their
             own transition cost.
+        arbitration: How the pool is split across a co-run phase's
+            residents (``"proportional"`` or ``"sensitivity"``).
     """
 
     name = "dynamic"
 
-    def __init__(self, hysteresis_sms: int = 0) -> None:
+    def __init__(
+        self, hysteresis_sms: int = 0, arbitration: str = "proportional"
+    ) -> None:
         if hysteresis_sms < 0:
             raise ValueError("hysteresis_sms must be non-negative")
         self.hysteresis_sms = hysteresis_sms
+        self.arbitration = _validate_arbitration(arbitration)
 
     def plan(
         self,
@@ -340,33 +530,49 @@ class DynamicCapacityManager(CapacityPolicy):
     ) -> List[PhaseDecision]:
         cap = max_cache_mode_sms(gpu, morpheus)
         decisions: List[PhaseDecision] = []
-        previous_cache = 0
-        previous_application: Optional[str] = None
+        previous_pool = 0
+        previous_shares: Dict[str, int] = {}
         for index, phase in enumerate(scenario.phases):
-            idle = gpu.num_sms - phase.compute_sm_demand
+            idle = gpu.num_sms - phase.total_compute_sm_demand
             target = max(0, min(idle, cap))
-            cache_sms = target
+            pool = target
             if (
-                previous_cache <= idle
-                and abs(target - previous_cache) <= self.hysteresis_sms
+                previous_pool <= idle
+                and abs(target - previous_pool) <= self.hysteresis_sms
             ):
-                cache_sms = previous_cache
+                pool = previous_pool
+            shares = arbitrate_extended_llc(
+                pool, phase.residents, profiles, self.arbitration
+            )
+            if (
+                pool == previous_pool
+                and set(shares) == set(previous_shares)
+                and all(
+                    abs(shares[name] - previous_shares[name]) <= self.hysteresis_sms
+                    for name in shares
+                )
+            ):
+                # Damp per-resident wiggles too: when the pool is unchanged,
+                # the residents are the same and every slice moved by at
+                # most the hysteresis, keep the previous slices — otherwise
+                # a small demand redistribution inside a co-run phase would
+                # pay the very transition costs hysteresis exists to skip.
+                # (With hysteresis 0 this only keeps slices that are
+                # already identical.)
+                shares = dict(previous_shares)
             if index == 0:
                 transition = NO_TRANSITION
             else:
-                transition = transition_model.transition(
-                    gpu,
-                    previous_cache_sms=previous_cache,
-                    new_cache_sms=cache_sms,
-                    outgoing_profile=profiles[previous_application],
-                    application_changed=phase.application != previous_application,
+                transition = grant_transition(
+                    transition_model, gpu, previous_shares, shares, profiles
                 )
             decisions.append(
                 PhaseDecision(
-                    split=self._split(gpu, phase.compute_sm_demand, cache_sms),
+                    split=self._split(gpu, phase.total_compute_sm_demand, pool),
                     transition=transition,
+                    grants=_phase_grants(phase, shares),
                 )
             )
-            previous_cache = cache_sms
-            previous_application = phase.application
+            previous_pool = pool
+            previous_shares = shares
         return decisions

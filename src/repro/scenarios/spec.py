@@ -1,13 +1,19 @@
 """Declarative multi-phase workload timelines.
 
 A :class:`ScenarioSpec` describes a **timeline**: an ordered sequence of
-:class:`ScenarioPhase` entries, each naming the application that owns the
-GPU during that phase, how many SMs the scheduler grants it for compute
-(``compute_sm_demand`` — the rest of the GPU is idle from the application's
-point of view), and a relative ``duration_weight``.  Phases are what Morpheus
-reacts to: when the demand drops, idle SMs can be borrowed for the extended
-LLC; when it rises, the scheduler hands capacity back and the extended LLC
-must shrink.
+:class:`ScenarioPhase` entries, each carrying the applications *resident* on
+the GPU during that phase, how many SMs the scheduler grants each of them
+for compute, and a relative ``duration_weight``.  Phases are what Morpheus
+reacts to: when the aggregate demand drops, idle SMs can be borrowed for the
+extended LLC; when it rises, the scheduler hands capacity back and the
+extended LLC must shrink.
+
+A phase with one resident is the classic single-tenant case and keeps the
+original ``ScenarioPhase(application=..., compute_sm_demand=...)``
+constructor.  A phase may instead carry several :class:`Residency` entries —
+a true multi-tenant **co-run**: every resident computes concurrently on its
+own SM share while the capacity policies arbitrate the pooled idle-SM
+extended-LLC capacity across them.
 
 Scenario keys layer on top of the two-phase runner contract: every phase is
 lowered to an existing :class:`~repro.runner.spec.RunSpec`, so the leaf
@@ -22,7 +28,7 @@ aggregate derived from the leaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.runner.spec import (
     REPLAY_SCHEMA_VERSION,
@@ -35,37 +41,118 @@ from repro.runner.spec import (
 #: scenario aggregation (instruction accounting, cycle totals) change —
 #: anything that would make a previously stored scenario-level aggregate
 #: stale even though the leaf replay/score entries are still valid.
-SCENARIO_SCHEMA_VERSION = 1
+#: Version 2: phases may carry multiple concurrent residents (co-run),
+#: decisions carry per-resident extended-LLC grants, and phase cycles are
+#: derived from the residents' aggregate throughput.
+SCENARIO_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class Residency:
+    """One application resident on the GPU during a phase.
+
+    Attributes:
+        application: Name of the resident application
+            (see :data:`repro.workloads.applications.APPLICATIONS`).
+        compute_sm_demand: SMs the scheduler grants this resident for
+            compute during the phase.
+    """
+
+    application: str
+    compute_sm_demand: int
+
+    def __post_init__(self) -> None:
+        if not self.application:
+            raise ValueError("a residency needs an application name")
+        if self.compute_sm_demand <= 0:
+            raise ValueError("compute_sm_demand must be positive")
 
 
 @dataclass(frozen=True)
 class ScenarioPhase:
     """One phase of a workload timeline.
 
+    Single-tenant phases use the original ``(application,
+    compute_sm_demand)`` constructor; multi-tenant co-run phases pass a
+    ``residents`` tuple instead (exactly one of the two forms).  Either way
+    ``residents`` is the canonical storage — for a single-tenant phase the
+    ``application``/``compute_sm_demand`` fields and the one-entry
+    ``residents`` tuple agree, and for a co-run phase the two legacy fields
+    are ``None`` (use :attr:`total_compute_sm_demand` and
+    :attr:`applications`).
+
     Attributes:
-        application: Name of the application running during the phase
-            (see :data:`repro.workloads.applications.APPLICATIONS`).
-        compute_sm_demand: SMs the scheduler grants the application for
-            compute during the phase; the remaining SMs are idle and may be
-            borrowed by Morpheus for the extended LLC.
+        application: Name of the application running during a single-tenant
+            phase; ``None`` for a co-run phase.
+        compute_sm_demand: SMs the scheduler grants the single resident for
+            compute; ``None`` for a co-run phase.  The GPU's remaining SMs
+            are idle and may be borrowed by Morpheus for the extended LLC.
         duration_weight: Relative length of the phase.  The engine converts
             weights to instructions via
             :attr:`ScenarioSpec.instructions_per_weight`.
         label: Optional human-readable tag shown in per-phase tables.
+        residents: The applications resident during the phase with their
+            compute-SM shares (one entry per application).
     """
 
-    application: str
-    compute_sm_demand: int
+    application: Optional[str] = None
+    compute_sm_demand: Optional[int] = None
     duration_weight: float = 1.0
     label: str = ""
+    residents: Tuple[Residency, ...] = ()
 
     def __post_init__(self) -> None:
-        if not self.application:
-            raise ValueError("a phase needs an application name")
-        if self.compute_sm_demand <= 0:
-            raise ValueError("compute_sm_demand must be positive")
         if self.duration_weight <= 0:
             raise ValueError("duration_weight must be positive")
+        residents = tuple(self.residents)
+        if residents:
+            if self.application is not None or self.compute_sm_demand is not None:
+                raise ValueError(
+                    "pass either residents or application/compute_sm_demand, not both"
+                )
+            names = [residency.application for residency in residents]
+            if len(set(names)) != len(names):
+                raise ValueError(
+                    f"a phase's residents must be distinct applications, got {names}"
+                )
+        else:
+            if not self.application:
+                raise ValueError("a phase needs an application name")
+            if self.compute_sm_demand is None or self.compute_sm_demand <= 0:
+                raise ValueError("compute_sm_demand must be positive")
+            residents = (Residency(self.application, self.compute_sm_demand),)
+        object.__setattr__(self, "residents", residents)
+        if len(residents) == 1:
+            # Canonicalize: a phase built from a one-entry residents tuple is
+            # identical (and hashes identically) to the legacy constructor.
+            object.__setattr__(self, "application", residents[0].application)
+            object.__setattr__(
+                self, "compute_sm_demand", residents[0].compute_sm_demand
+            )
+        else:
+            object.__setattr__(self, "application", None)
+            object.__setattr__(self, "compute_sm_demand", None)
+
+    @property
+    def is_corun(self) -> bool:
+        """True when several applications are resident concurrently."""
+        return len(self.residents) > 1
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """The resident applications, in residency order."""
+        return tuple(residency.application for residency in self.residents)
+
+    @property
+    def total_compute_sm_demand(self) -> int:
+        """Aggregate compute-SM demand of every resident."""
+        return sum(residency.compute_sm_demand for residency in self.residents)
+
+    def describe(self) -> str:
+        """Compact human-readable tag for error messages and tables."""
+        if self.label:
+            return self.label
+        return "+".join(self.applications)
 
 
 @dataclass(frozen=True)
@@ -110,14 +197,20 @@ class ScenarioSpec:
         """Distinct applications appearing in the timeline, in first-seen order."""
         seen = []
         for phase in self.phases:
-            if phase.application not in seen:
-                seen.append(phase.application)
+            for name in phase.applications:
+                if name not in seen:
+                    seen.append(name)
         return tuple(seen)
 
     @property
     def max_compute_sm_demand(self) -> int:
-        """The largest compute demand of any phase (sizes worst-case splits)."""
-        return max(phase.compute_sm_demand for phase in self.phases)
+        """The largest aggregate compute demand of any phase (sizes worst-case splits)."""
+        return max(phase.total_compute_sm_demand for phase in self.phases)
+
+    @property
+    def has_corun_phases(self) -> bool:
+        """True when any phase carries several concurrent residents."""
+        return any(phase.is_corun for phase in self.phases)
 
     def scenario_key(self) -> str:
         """Content-hash key of the timeline for scenario-level artifacts.

@@ -167,21 +167,36 @@ def run_scenario(
     seed: int = 1,
     policy=None,
     predictor: str = "bloom",
+    arbitration: str | None = None,
 ):
     """Run one system through a workload timeline (see :mod:`repro.scenarios`).
 
     ``scenario`` is a :class:`~repro.scenarios.spec.ScenarioSpec` or the name
-    of a library scenario (e.g. ``"bursty"``).  Baselines ignore ``policy``;
-    Morpheus systems default to the dynamic capacity manager.  Returns a
+    of a library scenario (e.g. ``"bursty"``, or the multi-tenant
+    ``"corun_overlap"``/``"mixed_tenancy"`` shapes whose phases keep several
+    applications concurrently resident).  Baselines ignore ``policy``;
+    Morpheus systems default to the dynamic capacity manager.
+    ``arbitration`` (``"proportional"`` or ``"sensitivity"``) picks how the
+    default policy splits pooled extended-LLC capacity across a co-run
+    phase's residents — pass an explicit ``policy`` instead to control
+    every knob.  Returns a
     :class:`~repro.scenarios.engine.ScenarioRunResult`.
     """
     # Imported lazily: the scenario engine executes through the runner,
     # which calls back into this module for named-system cells.
     from repro.scenarios.engine import ScenarioEngine
     from repro.scenarios.library import get_scenario
+    from repro.scenarios.policy import DynamicCapacityManager
 
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if arbitration is not None:
+        if policy is not None:
+            raise ValueError(
+                "pass either arbitration (configures the default dynamic "
+                "manager) or an explicit policy, not both"
+            )
+        policy = DynamicCapacityManager(arbitration=arbitration)
     engine = ScenarioEngine(
         gpu=gpu, fidelity=fidelity, seed=seed, predictor=predictor
     )
