@@ -14,13 +14,16 @@ from __future__ import annotations
 from conftest import BENCH_FIDELITY, run_scoring
 
 from repro.analysis.scenarios import time_weighted_ipc, transition_overheads
-from repro.scenarios import DynamicCapacityManager, ScenarioEngine, ramp
+from repro.scenarios import DynamicCapacityManager, ScenarioEngine, corun_overlap, ramp
 
 #: A long diurnal timeline (2 * 24 - 1 = 47 phases) stresses per-phase work.
 LOWERING_SCENARIO = ramp(application="kmeans", low_sms=10, high_sms=60, steps=24)
 
 #: A short timeline for the end-to-end warm-run benchmark.
 RUN_SCENARIO = ramp(application="kmeans", low_sms=24, high_sms=60, steps=3)
+
+#: A contended overlapping co-run for the fixed-point solver benchmark.
+CORUN_SCENARIO = corun_overlap(rounds=2)
 
 
 def test_scenario_phase_lowering(benchmark):
@@ -47,3 +50,26 @@ def test_scenario_warm_timeline_run(benchmark):
     assert len(result) == len(RUN_SCENARIO)
     assert time_weighted_ipc(result) > 0
     assert transition_overheads(result).transitions > 0
+
+
+def test_corun_contention_solve(benchmark):
+    """Time the co-run shared-bandwidth fixed point over warm measurements.
+
+    Each timed round drops the scored-stats layers *and* the persisted
+    scenario aggregates, then re-runs the whole contended timeline:
+    lowering, the uncontended batch and the proportional-pressure
+    fixed-point solve — all pure scoring over the warm measurement tier.
+    A regression in the solver's iteration count or per-iteration scoring
+    cost shows up directly, with zero replay noise.
+    """
+    engine = ScenarioEngine(fidelity=BENCH_FIDELITY)
+
+    result = run_scoring(
+        benchmark, lambda: engine.run(CORUN_SCENARIO, "Morpheus-ALL")
+    )
+
+    assert len(result) == len(CORUN_SCENARIO)
+    for execution in result.phases:
+        for resident in execution.residents:
+            # The solve actually contended the residents.
+            assert resident.stats.ipc < resident.uncontended_ipc

@@ -13,11 +13,14 @@ policies:
 
 Part 2 runs an **overlapping co-run**: two applications concurrently
 resident, splitting the compute SMs, while the policies arbitrate the
-pooled idle-SM extended-LLC capacity between them.  Sensitivity-weighted
-arbitration steers pooled capacity toward the tenant whose traffic an
-extended LLC can actually capture, and the dynamic manager grows the pool
-whenever one tenant's demand dips — together they beat the worst-case
-static split on weighted speedup.
+pooled idle-SM extended-LLC capacity between them and the contention
+solver charges each tenant its share of the DRAM/LLC/NoC bandwidth the
+pair actually fights over (the per-tenant table splits the slowdown into
+grant vs bandwidth cycles).  Sensitivity-weighted arbitration steers
+pooled capacity toward the tenant whose traffic an extended LLC can
+actually capture, and the dynamic manager grows the pool whenever one
+tenant's demand dips — together they beat the worst-case static split on
+weighted speedup.
 
 A steady timeline and the IBL baseline are included for reference.  All
 phases execute through the two-phase runner cache, so repeated phases
@@ -35,6 +38,7 @@ import sys
 
 from repro.analysis.scenarios import (
     compare_runs,
+    contention_breakdown,
     corun_table,
     fairness,
     phase_table,
@@ -70,6 +74,12 @@ def corun_demo(engine: ScenarioEngine) -> None:
     print()
     print(corun_table(dynamic, references))
     print()
+    breakdown = contention_breakdown(dynamic, references)
+    print(
+        f"Co-residency cost: {breakdown.capacity_grant_cycles:,.0f} cycles from "
+        f"arbitrated extended-LLC grants + {breakdown.bandwidth_interference_cycles:,.0f} "
+        f"cycles from shared DRAM/LLC/NoC bandwidth interference."
+    )
     static_ws = weighted_speedup(static, references)
     dynamic_ws = weighted_speedup(dynamic, references)
     print(
@@ -81,6 +91,10 @@ def corun_demo(engine: ScenarioEngine) -> None:
     assert dynamic_ws > static_ws, (
         "sensitivity-weighted dynamic arbitration should beat the static "
         "worst-case split on weighted speedup"
+    )
+    assert breakdown.bandwidth_interference_cycles > 0, (
+        "concurrent residents share the memory system; the contention "
+        "solver should charge nonzero bandwidth-interference cycles"
     )
 
 

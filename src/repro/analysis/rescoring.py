@@ -2,7 +2,8 @@
 
 Calibration and sensitivity studies sweep the *analytic* parameters of the
 performance model — outstanding requests per SM (``mlp_per_sm``), peak warp
-IPC (``peak_warp_ipc_per_sm``) and the
+IPC (``peak_warp_ipc_per_sm``), the shared-bandwidth
+:class:`~repro.sim.performance_model.ResourceEnvelope` and the
 :class:`~repro.energy.components.ComponentEnergies` constants — while the
 functional hierarchy replay they score is unchanged.  Under the two-phase
 pipeline those sweeps are nearly free: every variant shares the replay key
@@ -23,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.energy.components import ComponentEnergies
 from repro.energy.model import EnergyModel
 from repro.runner.runner import ExperimentRunner, active_runner
+from repro.sim.performance_model import ResourceEnvelope
 from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.workloads.applications import ApplicationProfile, get_application
@@ -95,6 +97,29 @@ def analytic_grid(
     ]
     stats = runner.score_many(profile, configs)
     return dict(zip(points, stats))
+
+
+def envelope_sweep(
+    application: str | ApplicationProfile,
+    config: SimulationConfig,
+    envelopes: Sequence[ResourceEnvelope],
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[ResourceEnvelope, SimulationStats]:
+    """Re-score ``config`` under each shared-bandwidth envelope.
+
+    The envelope is a score-only config field, so the whole sweep shares
+    one replay key with the base run: over a warm measurement tier it
+    models a tenant's sensitivity to losing DRAM/LLC/NoC share — the
+    building block of co-run contention studies — without a single trace
+    replay.
+    """
+    runner = runner or active_runner()
+    profile = _profile(application)
+    configs = [
+        dataclasses.replace(config, envelope=envelope) for envelope in envelopes
+    ]
+    stats = runner.score_many(profile, configs)
+    return dict(zip(envelopes, stats))
 
 
 def energy_sweep(

@@ -15,7 +15,9 @@ turns that into the timeline-level numbers the scenario studies report:
 * co-run aggregation — :func:`per_app_timelines` (per-application
   time-weighted IPC and capacity shares), :func:`weighted_speedup` /
   :func:`fairness` against solo references, and :func:`contention_breakdown`
-  (per-application cycles lost to co-residency vs transitions);
+  (per-application cycles lost to co-residency, decomposed into the
+  extended-LLC-grant component and the shared-bandwidth-interference
+  component, with transitions reported separately);
 * :func:`phase_table` / :func:`corun_table` / :func:`compare_runs` —
   human-readable reports.
 
@@ -198,6 +200,13 @@ class AppTimeline:
             phase durations depend on who shares the GPU, so comparing
             wall-clock IPCs across tenancy configurations mixes throughput
             with scheduling, while the per-phase means compare like slices.
+        uncontended_slice_ipc: The same equal-slice aggregation over the
+            **uncontended** leaf IPCs — what the application would have
+            scored at its granted SM shares with the whole shared memory
+            system to itself.  The gap to ``slice_ipc`` is pure
+            shared-bandwidth interference; the gap from the solo reference
+            down to ``uncontended_slice_ipc`` is the extended-LLC-grant
+            (capacity arbitration) component.
         mean_compute_sms: Cycle-weighted mean compute-SM grant.
         mean_cache_sms: Cycle-weighted mean extended-LLC grant.
     """
@@ -208,6 +217,7 @@ class AppTimeline:
     transition_cycles: float
     ipc: float
     slice_ipc: float
+    uncontended_slice_ipc: float
     mean_compute_sms: float
     mean_cache_sms: float
 
@@ -223,6 +233,7 @@ def per_app_timelines(result: ScenarioRunResult) -> Dict[str, AppTimeline]:
     resident_cycles = {name: 0.0 for name in order}
     transition_cycles = {name: 0.0 for name in order}
     weighted_ipc = {name: 0.0 for name in order}
+    weighted_uncontended_ipc = {name: 0.0 for name in order}
     resident_weight = {name: 0.0 for name in order}
     compute_sm_cycles = {name: 0.0 for name in order}
     cache_sm_cycles = {name: 0.0 for name in order}
@@ -235,22 +246,23 @@ def per_app_timelines(result: ScenarioRunResult) -> Dict[str, AppTimeline]:
             resident_cycles[name] += execution.cycles
             transition_cycles[name] += stall
             weighted_ipc[name] += weight * resident.stats.ipc
+            weighted_uncontended_ipc[name] += weight * resident.uncontended_ipc
             resident_weight[name] += weight
             compute_sm_cycles[name] += resident.grant.compute_sms * execution.cycles
             cache_sm_cycles[name] += resident.grant.cache_sms * execution.cycles
     timelines = {}
     for name in order:
         cycles = resident_cycles[name]
+        weight = resident_weight[name]
         timelines[name] = AppTimeline(
             application=name,
             instructions=instructions[name],
             resident_cycles=cycles,
             transition_cycles=transition_cycles[name],
             ipc=instructions[name] / cycles if cycles > 0 else 0.0,
-            slice_ipc=(
-                weighted_ipc[name] / resident_weight[name]
-                if resident_weight[name] > 0
-                else 0.0
+            slice_ipc=weighted_ipc[name] / weight if weight > 0 else 0.0,
+            uncontended_slice_ipc=(
+                weighted_uncontended_ipc[name] / weight if weight > 0 else 0.0
             ),
             mean_compute_sms=compute_sm_cycles[name] / cycles if cycles > 0 else 0.0,
             mean_cache_sms=cache_sm_cycles[name] / cycles if cycles > 0 else 0.0,
@@ -308,15 +320,30 @@ class AppContention:
     ``contention_cycles`` is the extra time the application's retired
     instructions took at its shared equal-slice IPC compared to retiring
     them at the solo reference IPC (negative when sharing beat the
-    reference); ``transition_cycles`` is the part of its resident time
-    spent in reconfiguration stalls, reported separately.
+    reference).  It decomposes exactly into the two channels a co-resident
+    loses through:
+
+    * ``capacity_grant_cycles`` — solo reference down to the *uncontended*
+      shared IPC: the cost of running at the arbitrated extended-LLC grant
+      (and compute share) instead of owning the whole idle pool, with the
+      full memory system still to itself;
+    * ``bandwidth_interference_cycles`` — uncontended down to the contended
+      IPC: the cost of sharing DRAM/LLC/NoC bandwidth with the
+      co-residents, at identical grants (nonzero only when the contention
+      fixed point actually throttled a shared channel).
+
+    ``transition_cycles`` is the part of its resident time spent in
+    reconfiguration stalls, reported separately.
     """
 
     application: str
     ipc: float
+    uncontended_ipc: float
     reference_ipc: float
     normalized_progress: float
     contention_cycles: float
+    capacity_grant_cycles: float
+    bandwidth_interference_cycles: float
     transition_cycles: float
 
 
@@ -333,6 +360,16 @@ class ContentionBreakdown:
         """Total extra cycles across applications vs their solo references."""
         return sum(app.contention_cycles for app in self.per_app)
 
+    @property
+    def capacity_grant_cycles(self) -> float:
+        """Total cycles lost to arbitrated extended-LLC grants (vs solo pools)."""
+        return sum(app.capacity_grant_cycles for app in self.per_app)
+
+    @property
+    def bandwidth_interference_cycles(self) -> float:
+        """Total cycles lost to shared DRAM/LLC/NoC bandwidth interference."""
+        return sum(app.bandwidth_interference_cycles for app in self.per_app)
+
 
 def _breakdown_from(
     timelines: Mapping[str, AppTimeline], reference_ipc: Mapping[str, float]
@@ -347,14 +384,22 @@ def _breakdown_from(
             if timeline.slice_ipc > 0
             else 0.0
         )
+        uncontended_cycles = (
+            timeline.instructions / timeline.uncontended_slice_ipc
+            if timeline.uncontended_slice_ipc > 0
+            else 0.0
+        )
         ideal_cycles = timeline.instructions / reference if reference > 0 else 0.0
         per_app.append(
             AppContention(
                 application=name,
                 ipc=timeline.slice_ipc,
+                uncontended_ipc=timeline.uncontended_slice_ipc,
                 reference_ipc=reference,
                 normalized_progress=progress[name],
                 contention_cycles=shared_cycles - ideal_cycles,
+                capacity_grant_cycles=uncontended_cycles - ideal_cycles,
+                bandwidth_interference_cycles=shared_cycles - uncontended_cycles,
                 transition_cycles=timeline.transition_cycles,
             )
         )
@@ -381,7 +426,13 @@ def contention_breakdown(
 def corun_table(
     result: ScenarioRunResult, reference_ipc: Mapping[str, float]
 ) -> str:
-    """Per-application co-run report (shares, IPC, progress, contention)."""
+    """Per-application co-run report (shares, IPC, progress, contention).
+
+    The contention column is split into its two components: cycles lost to
+    the arbitrated extended-LLC *grant* (solo pool vs arbitrated slice,
+    full bandwidth on both sides) and cycles lost to shared *bandwidth*
+    interference (identical grant, contended vs whole-GPU envelope).
+    """
     timelines = per_app_timelines(result)
     breakdown = _breakdown_from(timelines, reference_ipc)
     rows = []
@@ -393,9 +444,11 @@ def corun_table(
                 timeline.mean_compute_sms,
                 timeline.mean_cache_sms,
                 app.ipc,
+                app.uncontended_ipc,
                 app.reference_ipc,
                 f"{app.normalized_progress:.3f}",
-                app.contention_cycles,
+                app.capacity_grant_cycles,
+                app.bandwidth_interference_cycles,
                 app.transition_cycles,
             ]
         )
@@ -407,8 +460,8 @@ def corun_table(
     return format_table(
         [
             "app", "mean compute", "mean cache",
-            "IPC", "solo IPC", "progress",
-            "contention cycles", "transition cycles",
+            "IPC", "uncontended IPC", "solo IPC", "progress",
+            "grant cycles", "bandwidth cycles", "transition cycles",
         ],
         rows,
         title=title,

@@ -10,6 +10,10 @@ file per entry, each sharded by key prefix:
   :meth:`~repro.runner.spec.RunSpec.score_key`.  This is the cheap tier:
   re-deriving an entry from a cached measurement is a pure analytic
   computation.
+* ``scenarios/`` — scenario-level aggregates (serialized
+  :class:`~repro.scenarios.engine.ScenarioRunResult` payloads), addressed by
+  :meth:`~repro.scenarios.engine.ScenarioEngine.run_key`.  Warm scenario
+  re-runs load one aggregate instead of re-scoring every timeline leaf.
 
 Because the score key embeds the replay key, changing *any* input addresses
 a different stats entry, while changing only analytic parameters (peak IPC,
@@ -27,7 +31,7 @@ once older than an age threshold (younger ones may be in-flight writes).
 The module doubles as a maintenance CLI::
 
     python -m repro.runner.cache stats
-    python -m repro.runner.cache prune [--max-bytes N] [--tier stats|measurements]
+    python -m repro.runner.cache prune [--max-bytes N] [--tier stats|measurements|scenarios]
 
 ``prune --max-bytes`` applies an LRU-by-mtime size cap instead of deleting
 everything.  ``python -m repro.runner`` is an equivalent entry point that
@@ -136,17 +140,20 @@ class _JsonTier:
 
 
 class ResultCache:
-    """One two-tier content-addressed cache directory.
+    """One multi-tier content-addressed cache directory.
 
     The stats-tier counters are exposed as ``hits``/``misses``/``stores``,
     the measurement-tier counters as ``replay_hits``/``replay_misses``/
     ``replay_stores`` — a re-scoring sweep over a warm cache shows stats-tier
-    misses but **zero** ``replay_misses`` turning into replays.
+    misses but **zero** ``replay_misses`` turning into replays — and the
+    scenario-aggregate tier as ``scenario_hits``/``scenario_misses``/
+    ``scenario_stores``.
     """
 
     #: Tier subdirectory names.
     STATS_TIER = "stats"
     MEASUREMENTS_TIER = "measurements"
+    SCENARIOS_TIER = "scenarios"
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         if directory is None:
@@ -154,6 +161,7 @@ class ResultCache:
         self.directory = Path(directory)
         self._stats = _JsonTier(self.directory / self.STATS_TIER)
         self._measurements = _JsonTier(self.directory / self.MEASUREMENTS_TIER)
+        self._scenarios = _JsonTier(self.directory / self.SCENARIOS_TIER)
 
     # -- stats tier (scored results, keyed by score_key) ------------------------------
 
@@ -231,6 +239,48 @@ class ResultCache:
             key, {"key": key, "measurement": measurement.to_jsonable()}
         )
 
+    # -- scenario tier (timeline aggregates, keyed by ScenarioEngine.run_key) ----------
+
+    @property
+    def scenario_hits(self) -> int:
+        """Scenario-tier (timeline aggregate) cache hits."""
+        return self._scenarios.hits
+
+    @property
+    def scenario_misses(self) -> int:
+        """Scenario-tier (timeline aggregate) cache misses."""
+        return self._scenarios.misses
+
+    @property
+    def scenario_stores(self) -> int:
+        """Scenario-tier (timeline aggregate) cache stores."""
+        return self._scenarios.stores
+
+    def scenario_path_for(self, key: str) -> Path:
+        """File path of the aggregate addressed by scenario run key ``key``."""
+        return self._scenarios.path_for(key)
+
+    def load_scenario(self, key: str) -> Optional[Dict]:
+        """The cached scenario-aggregate payload for ``key``, or ``None`` on a miss.
+
+        Payloads are opaque JSON dicts — the scenario engine owns their
+        schema (its run key embeds every schema version involved, so a
+        stale layout is simply never addressed).
+        """
+        payload = self._scenarios.load_payload(key)
+        if payload is None:
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            self._scenarios.hits -= 1
+            self._scenarios.misses += 1
+            return None
+        return result
+
+    def store_scenario(self, key: str, result: Dict) -> None:
+        """Atomically persist the scenario-aggregate payload under ``key``."""
+        self._scenarios.store_payload(key, {"key": key, "result": result})
+
     # -- cross-process counter folding -------------------------------------------------
 
     def tier_counters(self) -> Dict[str, int]:
@@ -246,6 +296,9 @@ class ResultCache:
             "replay_hits": self._measurements.hits,
             "replay_misses": self._measurements.misses,
             "replay_stores": self._measurements.stores,
+            "scenario_hits": self._scenarios.hits,
+            "scenario_misses": self._scenarios.misses,
+            "scenario_stores": self._scenarios.stores,
         }
 
     def absorb_counters(self, counters: Dict[str, int]) -> None:
@@ -256,6 +309,9 @@ class ResultCache:
         self._measurements.hits += counters.get("replay_hits", 0)
         self._measurements.misses += counters.get("replay_misses", 0)
         self._measurements.stores += counters.get("replay_stores", 0)
+        self._scenarios.hits += counters.get("scenario_hits", 0)
+        self._scenarios.misses += counters.get("scenario_misses", 0)
+        self._scenarios.stores += counters.get("scenario_stores", 0)
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -263,22 +319,21 @@ class ResultCache:
         return self._stats.path_for(key).exists()
 
     def __len__(self) -> int:
-        """Committed entries across both tiers (temp files excluded)."""
-        return len(self._stats) + len(self._measurements)
+        """Committed entries across all tiers (temp files excluded)."""
+        return len(self._stats) + len(self._measurements) + len(self._scenarios)
 
     def _tiers(self, tier: Optional[str] = None) -> List[Tuple[str, _JsonTier]]:
         named = [
             (self.STATS_TIER, self._stats),
             (self.MEASUREMENTS_TIER, self._measurements),
+            (self.SCENARIOS_TIER, self._scenarios),
         ]
         if tier is None:
             return named
         selected = [(name, t) for name, t in named if name == tier]
         if not selected:
-            raise ValueError(
-                f"unknown tier {tier!r}; expected "
-                f"{self.STATS_TIER!r} or {self.MEASUREMENTS_TIER!r}"
-            )
+            valid = ", ".join(repr(name) for name, _ in named)
+            raise ValueError(f"unknown tier {tier!r}; expected one of: {valid}")
         return selected
 
     #: Minimum age before a temp file counts as stale.  Atomic writes live
@@ -308,7 +363,11 @@ class ResultCache:
         if not self.directory.exists():
             return
         for path in self.directory.glob("*/*.json"):
-            if path.parent.name in (self.STATS_TIER, self.MEASUREMENTS_TIER):
+            if path.parent.name in (
+                self.STATS_TIER,
+                self.MEASUREMENTS_TIER,
+                self.SCENARIOS_TIER,
+            ):
                 continue
             if not path.name.startswith("."):
                 yield path
@@ -421,9 +480,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     prune.add_argument(
         "--tier",
-        choices=(ResultCache.STATS_TIER, ResultCache.MEASUREMENTS_TIER),
+        choices=(
+            ResultCache.STATS_TIER,
+            ResultCache.MEASUREMENTS_TIER,
+            ResultCache.SCENARIOS_TIER,
+        ),
         default=None,
-        help="restrict pruning to one tier (default: both)",
+        help="restrict pruning to one tier (default: all)",
     )
     args = parser.parse_args(argv)
 

@@ -164,6 +164,7 @@ class ExperimentRunner:
         self.replays = 0
         self._memory: Dict[str, SimulationStats] = {}
         self._measurement_memory: Dict[str, ReplayMeasurement] = {}
+        self._scenario_memory: Dict[str, Dict] = {}
         self._performance_model = PerformanceModel(energy_model)
         self._cache_suspended = False
 
@@ -202,24 +203,31 @@ class ExperimentRunner:
         sibling.disk_cache = self.disk_cache
         sibling._memory = self._memory
         sibling._measurement_memory = self._measurement_memory
+        sibling._scenario_memory = self._scenario_memory
         return sibling
 
     def clear_memory_cache(self) -> None:
         """Drop the in-process result/measurement layers (disk is untouched)."""
         self._memory.clear()
         self._measurement_memory.clear()
+        self._scenario_memory.clear()
 
     def clear_scored_stats(self) -> None:
         """Drop scored stats from every layer this runner uses, keeping measurements.
 
         After this, the next run re-derives every result from cached
-        measurements — pure analytic scoring, zero replays.  Benchmarks use
-        it between timed rounds to time the scoring path.  The on-disk
-        stats tier is only touched when this runner actually uses it.
+        measurements — pure analytic scoring, zero replays.  Scenario-level
+        aggregates are dropped too (they are derived from scored stats, and
+        keeping them would let a warm timeline run skip the very scoring
+        path being timed).  Benchmarks use it between timed rounds.  The
+        on-disk stats/scenario tiers are only touched when this runner
+        actually uses them.
         """
         self._memory.clear()
+        self._scenario_memory.clear()
         if self.use_disk_cache:
             self.disk_cache.prune(tier=self.disk_cache.STATS_TIER)
+            self.disk_cache.prune(tier=self.disk_cache.SCENARIOS_TIER)
 
     def maybe_auto_prune(self) -> int:
         """Apply the ``$REPRO_CACHE_MAX_BYTES`` size cap, if one is configured.
@@ -297,6 +305,37 @@ class ExperimentRunner:
         if self.use_disk_cache:
             self.disk_cache.store_measurement(replay_key, measurement)
 
+    @property
+    def cache_suspended(self) -> bool:
+        """True inside a :meth:`cache_bypassed` block (results are recomputed)."""
+        return self._cache_suspended
+
+    def load_scenario_payload(self, run_key: str) -> Optional[Dict]:
+        """The cached scenario-aggregate payload for ``run_key``, if any.
+
+        Scenario aggregates live in their own cache tier keyed by
+        :meth:`~repro.scenarios.engine.ScenarioEngine.run_key`; the scenario
+        engine owns the payload schema and rebuilds a
+        :class:`~repro.scenarios.engine.ScenarioRunResult` from it.
+        """
+        if self._cache_suspended:
+            return None
+        cached = self._scenario_memory.get(run_key)
+        if cached is not None:
+            return cached
+        if self.use_disk_cache:
+            loaded = self.disk_cache.load_scenario(run_key)
+            if loaded is not None:
+                self._scenario_memory[run_key] = loaded
+                return loaded
+        return None
+
+    def store_scenario_payload(self, run_key: str, payload: Dict) -> None:
+        """Persist a scenario-aggregate payload under ``run_key``."""
+        self._scenario_memory[run_key] = payload
+        if self.use_disk_cache:
+            self.disk_cache.store_scenario(run_key, payload)
+
     # -- leaf execution ---------------------------------------------------------------
 
     def _energies(self):
@@ -329,6 +368,32 @@ class ExperimentRunner:
             self.replays += 1
             self._store_measurement(replay_key, measurement)
         return measurement
+
+    def measurement_for(
+        self, profile: ApplicationProfile, config: SimulationConfig
+    ) -> ReplayMeasurement:
+        """The replay measurement for one leaf, replaying only on a miss.
+
+        Phase 1 alone: used by callers that score one measurement many
+        times in-process (e.g. the co-run contention solver's iterations)
+        without touching the stats tier per variant.
+        """
+        run = self._run_spec(profile, config)
+        return self._obtain_measurement(profile, config, run.replay_key())
+
+    def score_measurement(
+        self,
+        profile: ApplicationProfile,
+        config: SimulationConfig,
+        measurement: ReplayMeasurement,
+    ) -> SimulationStats:
+        """Phase 2 alone: pure analytic scoring, no cache interaction.
+
+        The complement of :meth:`measurement_for`; bit-identical to what
+        :meth:`simulate` would produce for the same inputs because scoring
+        is a pure function of (profile, config, measurement, energies).
+        """
+        return self._score(profile, config, measurement)
 
     def simulate(
         self, profile: ApplicationProfile, config: SimulationConfig

@@ -9,7 +9,8 @@ Three layers:
   sizing, request interval, seed) plus :data:`REPLAY_SCHEMA_VERSION`, and
   addresses cached :class:`~repro.sim.performance_model.ReplayMeasurement`
   entries; :meth:`~RunSpec.score_key` extends the replay key with the
-  analytic scoring parameters (peak IPC, MLP, power gating, system label),
+  analytic scoring parameters (peak IPC, MLP, power gating, system label,
+  the shared-bandwidth :class:`~repro.sim.performance_model.ResourceEnvelope`),
   the energy constants and :data:`SCORE_SCHEMA_VERSION`, and addresses
   cached scored :class:`~repro.sim.stats.SimulationStats`.  Changing an
   analytic parameter therefore changes only the score key — the replay tier
@@ -47,7 +48,11 @@ REPLAY_SCHEMA_VERSION = 1
 #: scoring step (:class:`~repro.sim.performance_model.PerformanceModel`, the
 #: energy model) or the :class:`~repro.sim.stats.SimulationStats` layout
 #: changes — cached measurements stay valid and are merely re-scored.
-SCORE_SCHEMA_VERSION = 1
+#: Version 2: shared-channel bandwidth limits are granted through a
+#: :class:`~repro.sim.performance_model.ResourceEnvelope` (a new
+#: score-keyed ``SimulationConfig`` field; the default envelope scores
+#: bit-identically to version 1).
+SCORE_SCHEMA_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:

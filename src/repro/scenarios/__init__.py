@@ -13,6 +13,12 @@ Scenario-level analysis (time-weighted IPC, energy, transition overheads,
 per-phase tables) lives in :mod:`repro.analysis.scenarios`.
 """
 
+from repro.scenarios.contention import (
+    ContentionModel,
+    PhaseContentionSolution,
+    proportional_pressure_shares,
+    solve_phase_contention,
+)
 from repro.scenarios.engine import (
     LoweredLeaf,
     LoweredPhase,
@@ -44,6 +50,7 @@ from repro.scenarios.policy import (
     TransitionCostModel,
     arbitrate_extended_llc,
     combine_costs,
+    contended_llc_sensitivity,
     grant_transition,
     llc_capacity_sensitivity,
     max_cache_mode_sms,
@@ -58,9 +65,11 @@ from repro.scenarios.spec import (
 __all__ = [
     "ARBITRATION_MODES",
     "CapacityPolicy",
+    "ContentionModel",
     "DynamicCapacityManager",
     "FixedSplitPolicy",
     "LoweredLeaf",
+    "PhaseContentionSolution",
     "LoweredPhase",
     "NO_TRANSITION",
     "PhaseDecision",
@@ -80,6 +89,7 @@ __all__ = [
     "arbitrate_extended_llc",
     "bursty",
     "combine_costs",
+    "contended_llc_sensitivity",
     "corun_overlap",
     "corun_pair",
     "get_scenario",
@@ -87,6 +97,8 @@ __all__ = [
     "llc_capacity_sensitivity",
     "max_cache_mode_sms",
     "mixed_tenancy",
+    "proportional_pressure_shares",
     "ramp",
+    "solve_phase_contention",
     "steady",
 ]

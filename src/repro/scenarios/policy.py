@@ -64,6 +64,44 @@ def llc_capacity_sensitivity(profile: ApplicationProfile) -> float:
     )
 
 
+def _dram_pressure(profile: ApplicationProfile) -> float:
+    """Per-SM proxy of one application's pressure on the shared DRAM channels."""
+    return profile.memory_fraction * (1.0 - profile.l1_hit_rate)
+
+
+def contended_llc_sensitivity(
+    residency: Residency,
+    residents: Sequence[Residency],
+    profiles: Mapping[str, ApplicationProfile],
+) -> float:
+    """One resident's LLC capacity sensitivity *under its phase's contention*.
+
+    Co-residents share the DRAM channels, so the value of an extended-LLC
+    hit is not fixed: a byte captured on-chip dodges a DRAM system that the
+    *other* residents are pressuring too.  The solo
+    :func:`llc_capacity_sensitivity` is therefore scaled by the fraction of
+    the phase's aggregate memory pressure contributed by the co-residents —
+    ``base * (1 + others / total)`` — so grant decisions see the
+    interference their placement relieves: capacity flows preferentially to
+    tenants whose captured traffic unloads the most-contended channel.
+
+    Continuity: for a single-tenant phase the co-resident pressure is zero
+    and the contended sensitivity equals the solo one exactly, so
+    single-tenant arbitration (and every pre-co-run timeline) is unchanged.
+    """
+    base = llc_capacity_sensitivity(profiles[residency.application])
+    pressures = {
+        entry.application: entry.compute_sm_demand
+        * _dram_pressure(profiles[entry.application])
+        for entry in residents
+    }
+    total = sum(pressures.values())
+    if total <= 0.0:
+        return base
+    others = total - pressures[residency.application]
+    return base * (1.0 + others / total)
+
+
 def arbitrate_extended_llc(
     pool_sms: int,
     residents: Sequence[Residency],
@@ -77,8 +115,12 @@ def arbitrate_extended_llc(
     * ``"proportional"`` — grants follow each resident's compute-SM share
       (more SMs generate more LLC traffic);
     * ``"sensitivity"`` — grants follow compute share **weighted by**
-      :func:`llc_capacity_sensitivity`, steering pooled capacity toward the
-      residents whose traffic an extended LLC can actually capture.
+      :func:`contended_llc_sensitivity` — the solo capacity sensitivity
+      scaled up by the co-residents' share of the phase's memory pressure —
+      steering pooled capacity toward the residents whose captured traffic
+      both converts into hits *and* relieves the contended shared channels.
+      On a single-tenant phase this degrades to the solo
+      :func:`llc_capacity_sensitivity` exactly.
 
     Uses largest-remainder apportionment with residency-order tie-breaking,
     so grants are deterministic integers that sum to exactly ``pool_sms``
@@ -90,7 +132,7 @@ def arbitrate_extended_llc(
     if mode == "sensitivity":
         weights = [
             residency.compute_sm_demand
-            * llc_capacity_sensitivity(profiles[residency.application])
+            * contended_llc_sensitivity(residency, residents, profiles)
             for residency in residents
         ]
         if sum(weights) <= 0.0:

@@ -44,7 +44,12 @@ from repro.runner.spec import (
 #: Version 2: phases may carry multiple concurrent residents (co-run),
 #: decisions carry per-resident extended-LLC grants, and phase cycles are
 #: derived from the residents' aggregate throughput.
-SCENARIO_SCHEMA_VERSION = 2
+#: Version 3: co-run residents are scored under solved shared-bandwidth
+#: :class:`~repro.sim.performance_model.ResourceEnvelope` shares (the
+#: contention fixed point), executions carry the contended/uncontended
+#: pair, and scenario aggregates are persisted under
+#: :meth:`~repro.scenarios.engine.ScenarioEngine.run_key`.
+SCENARIO_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ and batched experiment execution cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.energy.model import EnergyModel
 from repro.sim.engine import HierarchyCounters
@@ -23,7 +23,113 @@ from repro.workloads.applications import ApplicationProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.hit_miss_predictor import PredictorStats
+    from repro.gpu.config import GPUConfig
     from repro.sim.simulator import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ResourceEnvelope:
+    """The share of each *shared* memory-system resource a run may use.
+
+    The performance model's bandwidth limits are computed against this
+    envelope instead of hardcoded whole-GPU capacities: a share of ``s``
+    caps the run at ``s`` times the GPU's aggregate bandwidth on that
+    channel.  The default envelope grants every channel in full, which
+    reproduces the historical single-tenant numbers bit-for-bit (the
+    capacities are multiplied by exactly ``1.0``).
+
+    Only the channels *shared between concurrent residents* are enveloped:
+    DRAM bandwidth, conventional-LLC bandwidth and the NoC.  Compute and
+    the extended-LLC bandwidth are private — they live in the resident's
+    own granted SMs — and the latency/MLP limit keeps the replay-measured
+    latency (queueing inflation under contention is not modelled).
+
+    The envelope is a pure *scoring* input: it never affects the
+    functional replay, so sweeping envelopes re-scores cached
+    measurements at zero replay cost (it is a
+    :data:`~repro.sim.simulator.SCORE_FIELDS` entry of the config).
+
+    Attributes:
+        dram_bandwidth_share: Fraction of the aggregate DRAM bandwidth.
+        llc_bandwidth_share: Fraction of the conventional-LLC bandwidth.
+        noc_bandwidth_share: Fraction of the NoC bandwidth.
+    """
+
+    dram_bandwidth_share: float = 1.0
+    llc_bandwidth_share: float = 1.0
+    noc_bandwidth_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("dram_bandwidth_share", "llc_bandwidth_share", "noc_bandwidth_share"):
+            share = getattr(self, name)
+            if not 0.0 < share <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {share}")
+
+    @property
+    def is_default(self) -> bool:
+        """True for the whole-GPU envelope (every share exactly 1)."""
+        return (
+            self.dram_bandwidth_share == 1.0
+            and self.llc_bandwidth_share == 1.0
+            and self.noc_bandwidth_share == 1.0
+        )
+
+
+#: The whole-GPU envelope: every shared channel granted in full.
+DEFAULT_ENVELOPE = ResourceEnvelope()
+
+#: The shared memory-system channels an envelope apportions, in the fixed
+#: order solvers iterate them.
+SHARED_CHANNELS: Tuple[str, ...] = ("dram", "llc", "noc")
+
+#: Envelope field per shared channel.
+ENVELOPE_FIELDS: Dict[str, str] = {
+    "dram": "dram_bandwidth_share",
+    "llc": "llc_bandwidth_share",
+    "noc": "noc_bandwidth_share",
+}
+
+
+def shared_bandwidth_capacities(gpu: "GPUConfig") -> Dict[str, float]:
+    """Whole-GPU aggregate capacity of each shared channel, in bytes/cycle.
+
+    The measured NoC bytes cover both directions while the per-port
+    bandwidth is per direction, so the aggregate NoC capacity is doubled.
+    """
+    return {
+        "dram": gpu.dram.bytes_per_cycle_per_channel * gpu.dram.num_channels,
+        "llc": gpu.llc.bytes_per_cycle_per_partition * gpu.llc.num_partitions,
+        "noc": (
+            2.0
+            * gpu.interconnect.bytes_per_cycle_per_port
+            * gpu.interconnect.num_partitions
+        ),
+    }
+
+
+def shared_bandwidth_demand(stats: SimulationStats, gpu: "GPUConfig") -> Dict[str, float]:
+    """One scored run's offered load on each shared channel, in bytes/cycle.
+
+    Derived purely from the run's :class:`~repro.sim.stats.SimulationStats`
+    at its modelled IPC — the demand signal the co-run contention solver
+    turns into proportional-pressure envelope shares.  The conventional-LLC
+    demand excludes extended-LLC traffic (that bandwidth is private to the
+    resident's own cache-mode SMs).
+    """
+    dram = (
+        stats.dram_bytes / stats.instructions * stats.ipc
+        if stats.instructions > 0
+        else 0.0
+    )
+    conventional_llc = (
+        max(0.0, stats.llc_throughput_gbps - stats.extended_llc_throughput_gbps)
+        / gpu.core_clock_ghz
+    )
+    return {
+        "dram": dram,
+        "llc": conventional_llc,
+        "noc": stats.noc_injection_bytes_per_cycle,
+    }
 
 
 @dataclass(frozen=True)
@@ -76,9 +182,14 @@ class PerformanceModel:
 
     IPC is the minimum of the compute limit, the DRAM bandwidth limit, the
     conventional/extended LLC bandwidth limits, the interconnect limit and
-    the latency/MLP limit.  Execution time, energy and performance/watt
-    follow from the modelled IPC and the per-level traffic extrapolated to
-    the application's full instruction count.
+    the latency/MLP limit.  The shared-channel capacities (DRAM,
+    conventional LLC, NoC) are granted through the config's
+    :class:`ResourceEnvelope` — the default whole-GPU envelope reproduces
+    the historical numbers bit-for-bit, while fractional shares model a
+    co-resident tenant's slice of the memory system.  Execution time,
+    energy and performance/watt follow from the modelled IPC and the
+    per-level traffic extrapolated to the application's full instruction
+    count.
 
     The model is pure: ``score`` depends only on its arguments and the
     energy-model constants, so one replay can be re-scored under different
@@ -128,10 +239,16 @@ class PerformanceModel:
                 return float("inf")
             return bytes_per_cycle / (bytes_per_ki / 1000.0)
 
-        dram_bpc = gpu.dram.bytes_per_cycle_per_channel * gpu.dram.num_channels
+        # Shared-channel capacities are granted through the config's resource
+        # envelope; the default envelope multiplies by exactly 1.0, so
+        # single-tenant scoring is bit-identical to the pre-envelope model.
+        envelope = cfg.envelope
+        capacities = shared_bandwidth_capacities(gpu)
+
+        dram_bpc = capacities["dram"] * envelope.dram_bandwidth_share
         limits["dram_bandwidth"] = bandwidth_limit(dram_bpc, dram_bytes_per_ki)
 
-        llc_bpc = gpu.llc.bytes_per_cycle_per_partition * gpu.llc.num_partitions
+        llc_bpc = capacities["llc"] * envelope.llc_bandwidth_share
         limits["llc_bandwidth"] = bandwidth_limit(llc_bpc, conv_bytes_per_ki)
 
         if cfg.num_cache_sms > 0 and cfg.morpheus is not None:
@@ -142,9 +259,7 @@ class PerformanceModel:
             )
             limits["extended_llc_bandwidth"] = bandwidth_limit(ext_bpc, ext_bytes_per_ki)
 
-        # The measured NoC bytes cover both directions while the per-port
-        # bandwidth is per direction, so the aggregate capacity is doubled.
-        noc_bpc = 2.0 * gpu.interconnect.bytes_per_cycle_per_port * gpu.interconnect.num_partitions
+        noc_bpc = capacities["noc"] * envelope.noc_bandwidth_share
         limits["noc_bandwidth"] = bandwidth_limit(noc_bpc, noc_bytes_per_ki)
 
         avg_latency = max(1.0, counters.average_latency_cycles)

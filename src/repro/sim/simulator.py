@@ -27,7 +27,12 @@ from repro.core.extended_llc import Compressibility
 from repro.energy.model import EnergyModel
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
 from repro.sim.engine import MemoryHierarchyEngine
-from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
+from repro.sim.performance_model import (
+    DEFAULT_ENVELOPE,
+    PerformanceModel,
+    ReplayMeasurement,
+    ResourceEnvelope,
+)
 from repro.sim.stats import SimulationStats
 from repro.workloads.applications import ApplicationProfile
 from repro.workloads.generator import SHARED_TRACE_CACHE, TraceCache
@@ -54,6 +59,7 @@ SCORE_FIELDS: Tuple[str, ...] = (
     "peak_warp_ipc_per_sm",
     "mlp_per_sm",
     "system_name",
+    "envelope",
 )
 
 
@@ -84,6 +90,11 @@ class SimulationConfig:
         peak_warp_ipc_per_sm: Peak warp instructions per cycle per SM.
         mlp_per_sm: Outstanding LLC-level requests one SM can sustain.
         system_name: Label recorded in the result (e.g. ``"Morpheus-ALL"``).
+        envelope: Shares of the *shared* memory-system bandwidth (DRAM,
+            conventional LLC, NoC) this run may use.  The default grants
+            every channel in full; co-run contention scoring passes
+            fractional shares.  Score-only: envelope sweeps re-score
+            cached measurements without replaying.
         seed: Trace generation seed.
     """
 
@@ -99,6 +110,7 @@ class SimulationConfig:
     peak_warp_ipc_per_sm: float = 4.0
     mlp_per_sm: float = 320.0
     system_name: str = "BL"
+    envelope: ResourceEnvelope = DEFAULT_ENVELOPE
     seed: int = 1
 
     def __post_init__(self) -> None:

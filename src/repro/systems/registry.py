@@ -168,6 +168,7 @@ def run_scenario(
     policy=None,
     predictor: str = "bloom",
     arbitration: str | None = None,
+    contention=None,
 ):
     """Run one system through a workload timeline (see :mod:`repro.scenarios`).
 
@@ -179,7 +180,9 @@ def run_scenario(
     ``arbitration`` (``"proportional"`` or ``"sensitivity"``) picks how the
     default policy splits pooled extended-LLC capacity across a co-run
     phase's residents — pass an explicit ``policy`` instead to control
-    every knob.  Returns a
+    every knob.  ``contention`` overrides the co-run shared-bandwidth
+    solver knobs (a :class:`~repro.scenarios.contention.ContentionModel`;
+    ``None`` uses the defaults).  Returns a
     :class:`~repro.scenarios.engine.ScenarioRunResult`.
     """
     # Imported lazily: the scenario engine executes through the runner,
@@ -198,7 +201,8 @@ def run_scenario(
             )
         policy = DynamicCapacityManager(arbitration=arbitration)
     engine = ScenarioEngine(
-        gpu=gpu, fidelity=fidelity, seed=seed, predictor=predictor
+        gpu=gpu, fidelity=fidelity, seed=seed, predictor=predictor,
+        contention=contention,
     )
     return engine.run(scenario, system_name, policy)
 

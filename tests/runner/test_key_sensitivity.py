@@ -23,6 +23,7 @@ import pytest
 from repro.core.config import MorpheusConfig
 from repro.gpu.config import RTX3080_CONFIG
 from repro.runner.spec import RunSpec
+from repro.sim.performance_model import ResourceEnvelope
 from repro.sim.simulator import REPLAY_FIELDS, SCORE_FIELDS, SimulationConfig
 from repro.workloads.applications import get_application
 
@@ -80,6 +81,9 @@ PERTURBATIONS = {
     "mlp_per_sm": lambda c: dataclasses.replace(c, mlp_per_sm=c.mlp_per_sm + 16.0),
     "system_name": lambda c: dataclasses.replace(
         c, system_name=c.system_name + "-perturbed"
+    ),
+    "envelope": lambda c: dataclasses.replace(
+        c, envelope=ResourceEnvelope(dram_bandwidth_share=0.5)
     ),
 }
 

@@ -126,6 +126,30 @@ class TestReplayTierReuse:
             runner.simulate(kmeans_profile, config)
         assert runner.replays == 2
 
+    def test_measurement_for_and_score_measurement_split(self, runner, kmeans_profile):
+        # The public phase-1/phase-2 split (used by the contention solver):
+        # one measurement fetch, any number of pure in-process scorings,
+        # bit-identical to the full two-phase path.
+        config = tiny_config()
+        measurement = runner.measurement_for(kmeans_profile, config)
+        assert runner.replays == 1
+        assert runner.measurement_for(kmeans_profile, config) is measurement
+        assert runner.replays == 1  # served from the in-process layer
+
+        from repro.sim.performance_model import ResourceEnvelope
+
+        contended_config = dataclasses.replace(
+            config, envelope=ResourceEnvelope(dram_bandwidth_share=0.5)
+        )
+        stores_before = runner.disk_cache.stores
+        scored = runner.score_measurement(
+            kmeans_profile, contended_config, measurement
+        )
+        assert runner.disk_cache.stores == stores_before  # pure: no cache writes
+        via_cache = runner.simulate(kmeans_profile, contended_config)
+        assert runner.replays == 1
+        assert dataclasses.asdict(scored) == dataclasses.asdict(via_cache)
+
 
 class TestScoreMany:
     def test_mlp_grid_over_warm_cache_does_zero_replays(self, runner, kmeans_profile):
