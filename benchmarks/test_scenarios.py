@@ -11,10 +11,24 @@ which is what a re-scored scenario study costs per timeline.
 
 from __future__ import annotations
 
+import dataclasses
+
+import pytest
+
 from conftest import BENCH_FIDELITY, run_scoring
 
 from repro.analysis.scenarios import time_weighted_ipc, transition_overheads
-from repro.scenarios import DynamicCapacityManager, ScenarioEngine, corun_overlap, ramp
+from repro.runner import active_runner
+from repro.scenarios import (
+    ContentionModel,
+    DynamicCapacityManager,
+    ScenarioEngine,
+    corun_overlap,
+    ramp,
+)
+from repro.scenarios.contention import solve_phase_contention
+from repro.sim.simulator import SimulationConfig
+from repro.workloads.applications import get_application
 
 #: A long diurnal timeline (2 * 24 - 1 = 47 phases) stresses per-phase work.
 LOWERING_SCENARIO = ramp(application="kmeans", low_sms=10, high_sms=60, steps=24)
@@ -73,3 +87,48 @@ def test_corun_contention_solve(benchmark):
         for resident in execution.residents:
             # The solve actually contended the residents.
             assert resident.stats.ipc < resident.uncontended_ipc
+
+
+def _corun_leaves():
+    base = SimulationConfig(
+        num_compute_sms=28,
+        power_gate_unused=True,
+        capacity_scale=BENCH_FIDELITY.capacity_scale,
+        trace_accesses=BENCH_FIDELITY.trace_accesses,
+        warmup_accesses=BENCH_FIDELITY.warmup_accesses,
+        system_name="bench-contention",
+        seed=1,
+    )
+    return [
+        (
+            get_application(app),
+            dataclasses.replace(base, num_compute_sms=sms, system_name=app),
+        )
+        for app, sms in (("spmv", 28), ("cfd", 24))
+    ]
+
+
+@pytest.mark.parametrize("fast_scoring", (True, False), ids=("fast", "legacy"))
+def test_contention_fixed_point_kernel(benchmark, fast_scoring):
+    """Time the raw fixed-point solve over warm measurements, both paths.
+
+    ``fast`` hoists the per-measurement invariants into a precomputed
+    scorer once per resident (the PR 6 satellite); ``legacy`` rebuilds them
+    on every iteration's ``score_measurement`` call.  Solutions are
+    bit-identical (asserted by the tier-1 suite) — only the per-iteration
+    cost differs, and this pair makes the gap visible.
+    """
+    runner = active_runner()
+    leaves = _corun_leaves()
+    uncontended = runner.run_leaves(leaves)
+    gpu = leaves[0][1].gpu
+
+    solution = benchmark(
+        lambda: solve_phase_contention(
+            runner, gpu, leaves, uncontended, ContentionModel(),
+            fast_scoring=fast_scoring,
+        )
+    )
+
+    assert solution.converged
+    assert all(stats.ipc > 0 for stats in solution.stats)

@@ -19,10 +19,10 @@ property the dense sensitivity figures rely on.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.energy.components import ComponentEnergies
-from repro.energy.model import EnergyModel
 from repro.runner.runner import ExperimentRunner, active_runner
 from repro.sim.performance_model import ResourceEnvelope
 from repro.sim.simulator import SimulationConfig
@@ -36,10 +36,18 @@ DEFAULT_MLP_GRID: Tuple[float, ...] = (80.0, 160.0, 240.0, 320.0, 480.0)
 DEFAULT_PEAK_IPC_GRID: Tuple[float, ...] = (2.0, 3.0, 4.0, 5.0, 6.0)
 
 
+@functools.lru_cache(maxsize=None)
+def _profile_by_name(name: str) -> ApplicationProfile:
+    return get_application(name)
+
+
 def _profile(application: str | ApplicationProfile) -> ApplicationProfile:
     if isinstance(application, ApplicationProfile):
         return application
-    return get_application(application)
+    # Memoized so every sweep point of a campaign sees the *same* profile
+    # object: RunSpec's per-instance replay-key memo and the batch scorer's
+    # identity-first replay checks both key off object identity.
+    return _profile_by_name(application)
 
 
 def mlp_sweep(
@@ -130,17 +138,15 @@ def energy_sweep(
 ) -> Dict[ComponentEnergies, SimulationStats]:
     """Re-score ``config`` under each set of energy constants.
 
-    Energy constants live in the runner's energy model (they key the stats
-    tier, not the replay tier), so each grid point scores through a sibling
-    runner sharing the same caches — the measurement tier hits every time.
+    Energy constants key the stats tier, not the replay tier, so the whole
+    grid shares one measurement fetch — and one roofline evaluation: the
+    cold points are batch-scored via
+    :meth:`~repro.runner.runner.ExperimentRunner.score_energy_grid` (an
+    unexpectedly cold replay still lands on ``runner.replays``, keeping
+    "replays has not moved" a truthful check).
     """
     runner = runner or active_runner()
     profile = _profile(application)
-    results: Dict[ComponentEnergies, SimulationStats] = {}
-    for energies in energies_grid:
-        sibling = runner.with_energy_model(EnergyModel(energies))
-        results[energies] = sibling.simulate(profile, config)
-        # Fold any (unexpectedly cold) replay back into the caller's
-        # counter so "runner.replays has not moved" stays a truthful check.
-        runner.replays += sibling.replays
-    return results
+    energies_list = list(energies_grid)
+    stats = runner.score_energy_grid(profile, config, energies_list)
+    return dict(zip(energies_list, stats))

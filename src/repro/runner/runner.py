@@ -41,7 +41,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.energy.components import DEFAULT_ENERGIES
 from repro.energy.model import EnergyModel
@@ -51,6 +51,10 @@ from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
 from repro.sim.simulator import GPUSimulator, SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.workloads.applications import ApplicationProfile, get_application
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.energy.components import ComponentEnergies
+    from repro.sim.vector_model import MeasurementScorer
 
 #: Environment variable setting the default worker count (0 = serial).
 WORKERS_ENV = "REPRO_RUNNER_WORKERS"
@@ -300,10 +304,15 @@ class ExperimentRunner:
                 return loaded
         return None
 
-    def _store_measurement(self, replay_key: str, measurement: ReplayMeasurement) -> None:
+    def _store_measurement(
+        self,
+        replay_key: str,
+        measurement: ReplayMeasurement,
+        mode: str = "replay",
+    ) -> None:
         self._measurement_memory[replay_key] = measurement
         if self.use_disk_cache:
-            self.disk_cache.store_measurement(replay_key, measurement)
+            self.disk_cache.store_measurement(replay_key, measurement, mode=mode)
 
     @property
     def cache_suspended(self) -> bool:
@@ -366,7 +375,7 @@ class ExperimentRunner:
         if measurement is None:
             measurement = GPUSimulator(config).replay(profile)
             self.replays += 1
-            self._store_measurement(replay_key, measurement)
+            self._store_measurement(replay_key, measurement, mode=config.replay_mode)
         return measurement
 
     def measurement_for(
@@ -394,6 +403,72 @@ class ExperimentRunner:
         is a pure function of (profile, config, measurement, energies).
         """
         return self._score(profile, config, measurement)
+
+    def scorer_for(
+        self,
+        profile: ApplicationProfile,
+        config: SimulationConfig,
+        measurement: ReplayMeasurement,
+    ) -> "MeasurementScorer":
+        """A precomputed scorer over ``measurement`` (this runner's energy model).
+
+        For callers that score one measurement under many score-tier
+        variants in-process (the contention solver's per-iteration
+        envelopes): the replay-side invariants are hoisted once, and
+        :meth:`~repro.sim.vector_model.MeasurementScorer.score_envelope` /
+        :meth:`~repro.sim.vector_model.MeasurementScorer.score_batch`
+        results are bit-identical to :meth:`score_measurement`.
+        """
+        return self._performance_model.scorer(profile, config, measurement)
+
+    def score_energy_grid(
+        self,
+        profile: ApplicationProfile,
+        config: SimulationConfig,
+        energies_grid: Sequence["ComponentEnergies"],
+    ) -> List[SimulationStats]:
+        """Score one leaf under many energy-constant variants, batched.
+
+        Each grid point has its own score key (energies are keyed), so warm
+        points are served from the stats tier; the cold points share one
+        measurement fetch and one roofline evaluation
+        (:meth:`~repro.sim.vector_model.MeasurementScorer.score_energy_batch`).
+        Bit-identical to scoring each point through a
+        :meth:`with_energy_model` sibling's :meth:`simulate`, at a fraction
+        of the per-point key-derivation and cache traffic.
+        """
+        specs = []
+        replay_key: Optional[str] = None
+        for energies in energies_grid:
+            spec = RunSpec(profile, config, energies)
+            if replay_key is None:
+                replay_key = spec.replay_key()
+            else:
+                # All points share the replay inputs; reuse the memoized key
+                # instead of re-rendering the profile per point.
+                object.__setattr__(spec, "_replay_key", replay_key)
+            specs.append(spec)
+        results: List[Optional[SimulationStats]] = [None] * len(specs)
+        score_keys = [spec.score_key() for spec in specs]
+        pending = []
+        for index, key in enumerate(score_keys):
+            cached = self._lookup(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if pending:
+            assert replay_key is not None
+            measurement = self._obtain_measurement(profile, config, replay_key)
+            scorer = self.scorer_for(profile, config, measurement)
+            scored = scorer.score_energy_batch(
+                config,
+                [EnergyModel(specs[index].energies) for index in pending],
+            )
+            for index, stats in zip(pending, scored):
+                self._store(score_keys[index], stats)
+                results[index] = stats
+        return [stats for stats in results if stats is not None]
 
     def simulate(
         self, profile: ApplicationProfile, config: SimulationConfig
@@ -478,16 +553,31 @@ class ExperimentRunner:
                 ]
             for key, measurement in zip(missing, computed):
                 self.replays += 1
-                self._store_measurement(key, measurement)
+                self._store_measurement(
+                    key, measurement, mode=leaves[by_replay[key][0]][1].replay_mode
+                )
                 measurements[key] = measurement
 
-            for index in pending:
-                profile, config = leaves[index]
-                stats = self._score(
-                    profile, config, measurements[replay_keys[index]]
-                )
-                self._store(score_keys[index], stats)
-                results[index] = stats
+            # Score each replay group in one batch: same key ⇒ same replay
+            # parameters and profile content, so per-config validation is
+            # redundant and one vectorized pass covers the whole group.
+            for key, indices in by_replay.items():
+                measurement = measurements[key]
+                if len(indices) == 1:
+                    index = indices[0]
+                    profile, config = leaves[index]
+                    scored = [self._score(profile, config, measurement)]
+                else:
+                    profile = leaves[indices[0]][0]
+                    scored = self._performance_model.score_batch(
+                        profile,
+                        [leaves[index][1] for index in indices],
+                        measurement,
+                        validate=False,
+                    )
+                for index, stats in zip(indices, scored):
+                    self._store(score_keys[index], stats)
+                    results[index] = stats
         return [stats for stats in results if stats is not None]
 
     def score_many(
@@ -548,8 +638,8 @@ class ExperimentRunner:
         from repro.systems.registry import evaluate_application
 
         profile = get_application(cell.application)
+        fidelity = cell.fidelity if cell.fidelity is not None else spec.fidelity
         if cell.sm_count is not None:
-            fidelity = spec.fidelity
             config = SimulationConfig(
                 gpu=spec.gpu,
                 num_compute_sms=cell.sm_count,
@@ -558,6 +648,7 @@ class ExperimentRunner:
                 trace_accesses=fidelity.trace_accesses,
                 warmup_accesses=fidelity.warmup_accesses,
                 system_name=cell.system,
+                replay_mode=fidelity.mode,
                 seed=cell.seed,
             )
             return self.simulate(profile, config)
@@ -568,7 +659,7 @@ class ExperimentRunner:
                 cell.system,
                 profile,
                 spec.gpu,
-                spec.fidelity,
+                fidelity,
                 seed=cell.seed,
                 predictor=cell.predictor,
             )

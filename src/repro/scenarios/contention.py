@@ -142,6 +142,7 @@ def solve_phase_contention(
     leaves: Sequence[Tuple["ApplicationProfile", "SimulationConfig"]],
     uncontended: Sequence[SimulationStats],
     model: ContentionModel,
+    fast_scoring: bool = True,
 ) -> PhaseContentionSolution:
     """Solve one phase's shared-bandwidth contention by fixed-point re-scoring.
 
@@ -159,6 +160,15 @@ def solve_phase_contention(
     Only the *converged* contended configs go back through the two-phase
     cache, landing in the stats tier under their envelope score keys.  No
     trace is ever re-replayed.
+
+    With ``fast_scoring`` (the default) each resident gets a precomputed
+    :class:`~repro.sim.vector_model.MeasurementScorer` and the iterations
+    call its :meth:`~repro.sim.vector_model.MeasurementScorer.score_envelope`
+    scalar fast path — the per-measurement invariants (hit rates, bytes per
+    kilo-instruction, ``shared_bandwidth_capacities``) are hoisted out of
+    the loop instead of being rebuilt every iteration.  Results are
+    bit-identical to the legacy per-call path (``fast_scoring=False``,
+    kept for benchmarking).
     """
     count = len(leaves)
     envelopes = tuple(DEFAULT_ENVELOPE for _ in range(count))
@@ -174,6 +184,12 @@ def solve_phase_contention(
     measurements = [
         runner.measurement_for(profile, config) for profile, config in leaves
     ]
+    scorers = None
+    if fast_scoring:
+        scorers = [
+            runner.scorer_for(profile, config, measurement)
+            for (profile, config), measurement in zip(leaves, measurements)
+        ]
     shares = [{channel: 1.0 for channel in SHARED_CHANNELS} for _ in range(count)]
     stats: List[SimulationStats] = list(uncontended)
     iterations = 0
@@ -190,16 +206,22 @@ def solve_phase_contention(
                 movement = max(movement, abs(stepped - current))
                 shares[index][channel] = stepped
         envelopes = tuple(_envelope(shares[index]) for index in range(count))
-        stats = [
-            runner.score_measurement(
-                profile,
-                dataclasses.replace(config, envelope=envelope),
-                measurement,
-            )
-            for (profile, config), envelope, measurement in zip(
-                leaves, envelopes, measurements
-            )
-        ]
+        if scorers is not None:
+            stats = [
+                scorer.score_envelope(envelope)
+                for scorer, envelope in zip(scorers, envelopes)
+            ]
+        else:
+            stats = [
+                runner.score_measurement(
+                    profile,
+                    dataclasses.replace(config, envelope=envelope),
+                    measurement,
+                )
+                for (profile, config), envelope, measurement in zip(
+                    leaves, envelopes, measurements
+                )
+            ]
         if movement < model.tolerance:
             converged = True
             break

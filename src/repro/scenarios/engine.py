@@ -60,7 +60,7 @@ from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION, ScenarioPhase, Scenari
 from repro.sim.performance_model import DEFAULT_ENVELOPE, ResourceEnvelope
 from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
-from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
+from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY, get_fidelity
 from repro.systems.morpheus_system import MorpheusOperatingPoint, MorpheusVariant
 from repro.systems.registry import SCENARIO_SYSTEMS
 from repro.workloads.applications import ApplicationProfile, get_application
@@ -244,7 +244,7 @@ class ScenarioEngine:
     ) -> None:
         self.runner = runner
         self.gpu = gpu
-        self.fidelity = fidelity
+        self.fidelity = get_fidelity(fidelity)
         self.seed = seed
         self.transition_model = transition_model or TransitionCostModel()
         self.predictor = predictor
@@ -299,6 +299,7 @@ class ScenarioEngine:
                         trace_accesses=self.fidelity.trace_accesses,
                         warmup_accesses=self.fidelity.warmup_accesses,
                         system_name=system,
+                        replay_mode=self.fidelity.mode,
                         seed=self.seed,
                     ),
                 )

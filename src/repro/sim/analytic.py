@@ -1,0 +1,185 @@
+"""First-order analytic measurement predictor (the ``"analytic"`` fidelity).
+
+Where the functional replay drives a generated trace through the real
+cache/controller/NoC/DRAM structures, this module *predicts* the resulting
+:class:`~repro.sim.performance_model.ReplayMeasurement` in closed form from
+the :class:`~repro.workloads.applications.ApplicationProfile` and the
+config's capacity parameters:
+
+* **Occupancy**: the scaled working set is split into a hot and a cold
+  region (``hot_fraction`` / ``hot_probability``); the conventional LLC —
+  and, for Morpheus configs, the pooled extended-LLC capacity on the
+  cache-mode SMs — cover the hot region first.  Streaming accesses never
+  hit.  Capacities mirror the engine's scaling rules exactly (granule
+  floors, per-store minimums, compression capacity factor), so analytic
+  and replay fidelities agree on *which* capacity cliff an application
+  sits on even when the hit rates differ.
+* **Traffic and latency**: per-access byte and latency costs follow the
+  engine's counter semantics (block-sized requests, response headers, DRAM
+  writeback traffic, NoC round trips), so the downstream roofline scoring
+  sees the same units it sees from a replay.
+
+The prediction is deterministic and seed-independent.  It intentionally
+models **no** predictor effects, no warm-up transients and no compression
+latency — it is a cheap exploration tier, keyed as its own
+``replay_mode`` inside ``replay_key`` so it can never contaminate
+replay-tier results.  Calibrate against a replay fidelity before trusting
+absolute numbers (see README "Fast scoring & fidelity tiers").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.extended_llc import Compressibility
+from repro.sim.engine import HierarchyCounters
+from repro.sim.performance_model import ReplayMeasurement
+from repro.workloads.applications import ApplicationProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import SimulationConfig
+
+#: Response-header bytes the engine charges per NoC transfer.
+_NOC_HEADER_BYTES = 32
+
+
+def _conventional_capacity_bytes(config: "SimulationConfig") -> float:
+    """Scaled conventional-LLC capacity, mirroring the engine's granule floor."""
+    llc = config.gpu.llc
+    scaled = int(llc.capacity_bytes * config.capacity_scale)
+    floor = llc.num_partitions * llc.associativity * llc.block_size
+    return float(max(floor, scaled))
+
+
+def _extended_capacity_bytes(profile: ApplicationProfile, config: "SimulationConfig") -> float:
+    """Scaled pooled extended-LLC capacity across the cache-mode SMs.
+
+    Mirrors the engine's per-store scaling (register file + unified
+    L1/shared per cache SM, each floored at four blocks) and applies the
+    BDI compression capacity factor when the Morpheus config enables
+    compression — the same effective-capacity rule
+    :class:`~repro.core.extended_llc.ExtendedLLC` uses.
+    """
+    if config.morpheus is None or config.num_cache_sms <= 0:
+        return 0.0
+    gpu = config.gpu
+    block_floor = config.morpheus.block_size * 4
+    rf_bytes = max(block_floor, int(gpu.register_file_bytes_per_sm * config.capacity_scale))
+    l1_bytes = max(block_floor, int(gpu.l1_shared_bytes_per_sm * config.capacity_scale))
+    capacity = float(config.num_cache_sms * (rf_bytes + l1_bytes))
+    if config.morpheus.enable_compression:
+        capacity *= Compressibility(
+            high_fraction=profile.compressible_high,
+            low_fraction=profile.compressible_low,
+        ).capacity_factor()
+    return capacity
+
+
+def _reuse_hit_rate(profile: ApplicationProfile, footprint: float, capacity: float) -> float:
+    """Hit rate of the *reusable* accesses given ``capacity`` bytes of cache.
+
+    Hot-region-first occupancy: cache capacity covers the hot region before
+    the cold one, and a region's accesses hit in proportion to how much of
+    it is covered.
+    """
+    if footprint <= 0.0 or capacity <= 0.0:
+        return 1.0 if footprint <= 0.0 else 0.0
+    hot_bytes = profile.hot_fraction * footprint
+    cold_bytes = footprint - hot_bytes
+    covered_hot = min(1.0, capacity / hot_bytes) if hot_bytes > 0.0 else 1.0
+    remaining = max(0.0, capacity - hot_bytes)
+    covered_cold = min(1.0, remaining / cold_bytes) if cold_bytes > 0.0 else 1.0
+    return profile.hot_probability * covered_hot + (1.0 - profile.hot_probability) * covered_cold
+
+
+def _hit_rate(profile: ApplicationProfile, footprint: float, capacity: float) -> float:
+    """Overall LLC-level hit rate: streaming accesses never hit."""
+    reuse_fraction = 1.0 - profile.streaming_fraction
+    return reuse_fraction * _reuse_hit_rate(profile, footprint, capacity)
+
+
+def predict_measurement(
+    profile: ApplicationProfile, config: "SimulationConfig"
+) -> ReplayMeasurement:
+    """Predict the replay measurement for ``profile`` under ``config``.
+
+    Pure and deterministic: depends only on the profile and the config's
+    replay-affecting fields (the seed is ignored — there is no trace to
+    generate).  Returns a fully populated
+    :class:`~repro.sim.performance_model.ReplayMeasurement` that scores
+    through the ordinary :class:`~repro.sim.performance_model.PerformanceModel`.
+    """
+    gpu = config.gpu
+    block = gpu.block_size
+    accesses = config.trace_accesses
+
+    footprint = profile.footprint_bytes(config.num_compute_sms) * config.capacity_scale
+    conv_capacity = _conventional_capacity_bytes(config)
+    ext_capacity = _extended_capacity_bytes(profile, config)
+
+    conv_hit_rate = _hit_rate(profile, footprint, conv_capacity)
+    total_hit_rate = _hit_rate(profile, footprint, conv_capacity + ext_capacity)
+
+    conventional_hits = int(round(accesses * conv_hit_rate))
+    extended_hits = int(round(accesses * (total_hit_rate - conv_hit_rate)))
+    extended_hits = min(extended_hits, accesses - conventional_hits)
+    # Every conventional miss consults the extension (when one exists).
+    extended_requests = accesses - conventional_hits if ext_capacity > 0.0 else 0
+    dram_accesses = accesses - conventional_hits - extended_hits
+    writebacks = int(round(profile.write_fraction * dram_accesses))
+
+    # Traffic, mirroring the engine's counter semantics: block-sized
+    # requests, a header per NoC response, DRAM writeback bytes.
+    conventional_bytes = conventional_hits * block
+    extended_bytes = extended_hits * block
+    dram_bytes = dram_accesses * block + writebacks * block
+    noc_bytes = accesses * (block + _NOC_HEADER_BYTES) + extended_hits * (
+        block + _NOC_HEADER_BYTES
+    )
+
+    # Latency: every access pays the NoC round trip plus the conventional
+    # lookup; extension hits add the cache-mode SM's kernel/tag/data path,
+    # misses add the (row-buffer-blended) DRAM access.
+    noc_one_way = gpu.interconnect.one_way_latency_cycles
+    timing = config.morpheus.timing if config.morpheus is not None else None
+    if timing is not None:
+        ext_extra = (
+            timing.kernel_dispatch_ns
+            + timing.tag_lookup_ns
+            + timing.l1_access_ns
+            + 2.0 * timing.noc_one_way_ns
+        ) * gpu.core_clock_ghz
+    else:
+        ext_extra = 0.0
+    dram = gpu.dram
+    dram_extra = dram.access_latency_cycles * (
+        1.0 - dram.row_buffer_hit_rate * (1.0 - dram.row_buffer_hit_latency_factor)
+    )
+    total_latency = (
+        accesses * (2.0 * noc_one_way + gpu.llc.hit_latency_cycles)
+        + extended_hits * ext_extra
+        + dram_accesses * dram_extra
+    )
+
+    counters = HierarchyCounters(
+        llc_accesses=accesses,
+        conventional_hits=conventional_hits,
+        extended_hits=extended_hits,
+        extended_requests=extended_requests,
+        dram_accesses=dram_accesses,
+        # No predictor is modelled: predicted misses are the true misses.
+        predicted_misses=dram_accesses if ext_capacity > 0.0 else 0,
+        false_positive_trips=0,
+        writebacks=writebacks,
+        total_latency_cycles=total_latency,
+        conventional_bytes=conventional_bytes,
+        extended_bytes=extended_bytes,
+        dram_bytes=dram_bytes,
+        noc_bytes=noc_bytes,
+        elapsed_cycles=max(1.0, accesses * config.request_interval_cycles),
+    )
+    return ReplayMeasurement(
+        counters=counters,
+        noc_average_latency_cycles=noc_one_way,
+        predictor=None,
+    )

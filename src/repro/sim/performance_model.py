@@ -14,7 +14,7 @@ and batched experiment execution cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.energy.model import EnergyModel
 from repro.sim.engine import HierarchyCounters
@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.hit_miss_predictor import PredictorStats
     from repro.gpu.config import GPUConfig
     from repro.sim.simulator import SimulationConfig
+    from repro.sim.vector_model import MeasurementScorer
 
 
 @dataclass(frozen=True)
@@ -351,3 +352,56 @@ class PerformanceModel:
             average_power_watts=avg_power,
             performance_per_watt=perf_per_watt,
         )
+
+    def scorer(
+        self,
+        profile: ApplicationProfile,
+        config: "SimulationConfig",
+        measurement: ReplayMeasurement,
+    ) -> "MeasurementScorer":
+        """A :class:`~repro.sim.vector_model.MeasurementScorer` over ``measurement``.
+
+        The scorer hoists every replay-side invariant once; use it to score
+        the same measurement under many score-tier parameter variants
+        (batch sweeps, per-iteration contention envelopes) without paying
+        the full :meth:`score` preamble per point.  Results are
+        bit-identical to :meth:`score`.
+        """
+        from repro.sim.vector_model import MeasurementScorer
+
+        return MeasurementScorer(
+            profile, config, measurement, energy_model=self.energy_model
+        )
+
+    def score_batch(
+        self,
+        profile: ApplicationProfile,
+        configs: Sequence["SimulationConfig"],
+        measurement: ReplayMeasurement,
+        validate: bool = True,
+    ) -> List[SimulationStats]:
+        """Score ``measurement`` under every config in one vectorized pass.
+
+        All configs must share the replay parameters the measurement was
+        produced under (they may differ in any
+        :data:`~repro.sim.simulator.SCORE_FIELDS` dimension); with
+        ``validate`` each config is checked against the first and a
+        mismatch raises :class:`ValueError`.  Callers that group configs by
+        ``replay_key`` (e.g. the runner) may pass ``validate=False``.
+
+        Bit-identical to calling :meth:`score` per config; transparently
+        falls back to the scalar loop when numpy is unavailable or the
+        batch is tiny.
+        """
+        if not configs:
+            return []
+        scorer = self.scorer(profile, configs[0], measurement)
+        if validate:
+            for config in configs[1:]:
+                if not scorer.matches_replay(config):
+                    raise ValueError(
+                        "score_batch configs must share replay parameters; "
+                        f"{config!r} differs from {configs[0]!r} in a "
+                        "REPLAY_FIELDS dimension"
+                    )
+        return scorer.score_batch(configs)

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.gpu.config import GPUConfig, RTX3080_CONFIG
 from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
-from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY
+from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY, get_fidelity
 from repro.workloads.applications import ApplicationProfile
 
 #: Candidate SM counts used by best-configuration searches (spanning the
@@ -46,11 +46,11 @@ class EvaluatedSystem(abc.ABC):
     def __init__(
         self,
         gpu: GPUConfig = RTX3080_CONFIG,
-        fidelity: Fidelity = STANDARD_FIDELITY,
+        fidelity: Fidelity | str = STANDARD_FIDELITY,
         seed: int = 1,
     ) -> None:
         self.gpu = gpu
-        self.fidelity = fidelity
+        self.fidelity = get_fidelity(fidelity)
         self.seed = seed
 
     @abc.abstractmethod
@@ -81,6 +81,7 @@ class EvaluatedSystem(abc.ABC):
                 fidelity.search_warmup_accesses if search_fidelity else fidelity.warmup_accesses
             ),
             system_name=self.name,
+            replay_mode=fidelity.mode,
             **kwargs,
         )
 

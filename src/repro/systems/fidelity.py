@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sim.simulator import REPLAY_MODES
+
 
 @dataclass(frozen=True)
 class Fidelity:
@@ -22,6 +24,12 @@ class Fidelity:
         search_trace_accesses: Accesses used during best-SM-count searches
             (smaller, since only the argmax matters).
         search_warmup_accesses: Warm-up accesses used during searches.
+        mode: How measurements are produced.  ``"replay"`` drives the
+            functional trace replay; ``"analytic"`` predicts the
+            measurement from first-order occupancy/roofline math over the
+            application profile (no trace is generated or replayed).  The
+            mode is a replay-keyed config field, so analytic measurements
+            can never be served for replay-fidelity runs or vice versa.
     """
 
     capacity_scale: float = 1.0 / 16.0
@@ -29,6 +37,7 @@ class Fidelity:
     warmup_accesses: int = 7_000
     search_trace_accesses: int = 8_000
     search_warmup_accesses: int = 3_000
+    mode: str = "replay"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.capacity_scale <= 1.0:
@@ -41,6 +50,10 @@ class Fidelity:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.mode not in REPLAY_MODES:
+            raise ValueError(
+                f"mode must be one of {REPLAY_MODES}, got {self.mode!r}"
+            )
 
 
 STANDARD_FIDELITY = Fidelity()
@@ -54,3 +67,38 @@ FAST_FIDELITY = Fidelity(
     search_warmup_accesses=1_000,
 )
 """Reduced fidelity for unit and integration tests."""
+
+ANALYTIC_FIDELITY = Fidelity(mode="analytic")
+"""First-order analytic tier: measurements come from closed-form math.
+
+Orders of magnitude cheaper than any replay fidelity (no trace generation,
+no hierarchy replay) and deterministic, at the cost of modelling accuracy —
+use it for wide design-space exploration and calibrate survivors against a
+replay fidelity (the :class:`~repro.runner.spec.ExperimentSpec` fidelity
+axis sweeps both sides in one plan)."""
+
+#: Named presets accepted wherever a fidelity is expected.
+FIDELITY_PRESETS = {
+    "standard": STANDARD_FIDELITY,
+    "fast": FAST_FIDELITY,
+    "analytic": ANALYTIC_FIDELITY,
+}
+
+
+def get_fidelity(fidelity: "Fidelity | str") -> Fidelity:
+    """Coerce a :class:`Fidelity` or preset name into a :class:`Fidelity`.
+
+    Lets entry points (system constructors, the scenario engine, experiment
+    specs) accept ``fidelity="analytic"`` and friends directly.
+    """
+    if isinstance(fidelity, Fidelity):
+        return fidelity
+    if isinstance(fidelity, str):
+        try:
+            return FIDELITY_PRESETS[fidelity]
+        except KeyError:
+            valid = ", ".join(sorted(FIDELITY_PRESETS))
+            raise ValueError(
+                f"unknown fidelity preset {fidelity!r}; expected one of: {valid}"
+            ) from None
+    raise TypeError(f"expected a Fidelity or preset name, got {type(fidelity).__name__}")

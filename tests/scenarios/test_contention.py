@@ -230,6 +230,35 @@ class TestFixedPoint:
         shares = [r.envelope.dram_bandwidth_share for r in residents]
         assert sum(shares) == pytest.approx(1.0, rel=1e-6)
 
+    def test_fast_scoring_matches_the_legacy_per_call_path(self, tmp_path):
+        from repro.scenarios.contention import solve_phase_contention
+
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache", max_workers=0)
+        gpu = _leaf_config(tmp_path).gpu
+        leaves = [
+            (
+                get_application(app),
+                dataclasses.replace(
+                    _leaf_config(tmp_path), num_compute_sms=sms, system_name=app
+                ),
+            )
+            for app, sms in (("spmv", 28), ("cfd", 24))
+        ]
+        uncontended = runner.run_leaves(leaves)
+        fast = solve_phase_contention(
+            runner, gpu, leaves, uncontended, ContentionModel(), fast_scoring=True
+        )
+        legacy = solve_phase_contention(
+            runner, gpu, leaves, uncontended, ContentionModel(), fast_scoring=False
+        )
+        # The precomputed-scorer fast path is an optimization, not a model
+        # change: solutions must be bit-identical to per-call scoring.
+        assert fast.iterations == legacy.iterations
+        assert fast.converged == legacy.converged
+        assert fast.envelopes == legacy.envelopes
+        for fast_stats, legacy_stats in zip(fast.stats, legacy.stats):
+            assert dataclasses.asdict(fast_stats) == dataclasses.asdict(legacy_stats)
+
     def test_solver_is_deterministic_across_worker_counts(self, tmp_path):
         serial = _engine(tmp_path / "serial", workers=0)
         parallel = _engine(tmp_path / "parallel", workers=2)
