@@ -1,23 +1,29 @@
-"""Machine-readable scoring benchmark: batch vs scalar, contention fast path.
+"""Machine-readable performance benchmarks: scoring and the runner service.
 
-Times the two implementations of analytic re-scoring over one warm replay
-measurement — the per-point scalar
+``--benchmark scoring`` (the default) times the two implementations of
+analytic re-scoring over one warm replay measurement — the per-point scalar
 :meth:`~repro.sim.performance_model.PerformanceModel.score` loop and the
 vectorized :meth:`~repro.sim.performance_model.PerformanceModel.score_batch`
 pass — across a dense envelope grid, asserts the two are **bit-identical**,
 and times the co-run contention fixed point with and without the
-precomputed-scorer fast path.  Results land in ``BENCH_scoring.json`` (and
-on stdout), giving CI and the ROADMAP a stable, machine-readable record of
-the speedups.
+precomputed-scorer fast path.  Results land in ``BENCH_scoring.json``.
+
+``--benchmark runner`` times cold-plan leaf throughput through the
+distributed experiment service at 1 worker vs ``--workers`` workers (fresh
+cache per timed run, matched pairs, median ratio), asserts the service run
+is bit-identical to a serial one with zero duplicate replays, and writes
+``BENCH_runner.json`` — including ``cpu_count``, because the measured
+speedup is physically bounded by the host's cores (a 1-CPU container
+honestly reports ~1.0x; CI's multi-core runners show the real scaling).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--smoke] [--points N]
-        [--repeats N] [--output BENCH_scoring.json]
+    PYTHONPATH=src python scripts/bench_report.py [--benchmark scoring|runner]
+        [--smoke] [--points N] [--workers N] [--repeats N] [--output FILE]
 
 ``--smoke`` shrinks the trace and repeat counts so the whole script runs in
-a few seconds (the CI configuration); the grid keeps >= 64 points either
-way so the measured speedup stays representative.
+a few seconds (the CI configuration); the scoring grid keeps >= 64 points
+either way so the measured speedup stays representative.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import statistics
 import sys
 import tempfile
@@ -194,8 +201,87 @@ def benchmark_contention_solve(
     }
 
 
+def benchmark_runner_service(
+    fidelity: Fidelity, leaves_count: int, workers: int, repeats: int, rounds: int = 1
+):
+    """Cold-plan leaf throughput through the service: 1 worker vs ``workers``.
+
+    Every timed run starts from a fresh cache directory (cold by
+    construction) and spawns its own worker daemons, so the measurement
+    covers the full distributed path: registration, claim-by-rename,
+    replay execution in workers, publication to the shared cache, and the
+    coordinator's warm re-derivation.  Bit-identity against a serial run
+    and the zero-duplicate-replay invariant are asserted before timing.
+    """
+    profile = get_application("kmeans")
+    configs = [_config(fidelity, seed=seed) for seed in range(1, leaves_count + 1)]
+
+    def cold_run(num_workers: int):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-runner-") as cache_dir:
+            runner = ExperimentRunner(
+                cache_dir=cache_dir, max_workers=num_workers, backend="service"
+            )
+            try:
+                stats = runner.run_configs(profile, configs)
+                replays = runner.replays
+            finally:
+                runner.close()
+        return stats, replays
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serial-") as cache_dir:
+        serial = ExperimentRunner(cache_dir=cache_dir, max_workers=0, backend="local")
+        expected = serial.run_configs(profile, configs)
+    actual, replays = cold_run(workers)
+    mismatches = sum(
+        dataclasses.asdict(a) != dataclasses.asdict(b)
+        for a, b in zip(actual, expected)
+    )
+    if mismatches:
+        raise AssertionError(
+            f"service run diverged from serial on {mismatches}/{leaves_count} "
+            "leaves — the bit-identity contract is broken"
+        )
+    if replays != leaves_count:
+        raise AssertionError(
+            f"service run performed {replays} replays for {leaves_count} distinct "
+            "replay keys — the zero-duplicate-replay contract is broken"
+        )
+
+    single_stats, multi_stats, speedup = _paired_speedup(
+        lambda: cold_run(1), lambda: cold_run(workers), repeats, rounds
+    )
+    cpu_count = os.cpu_count() or 1
+    report = {
+        "leaves": leaves_count,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "single_worker_seconds": single_stats["min"],
+        "single_worker_seconds_median": single_stats["median"],
+        "multi_worker_seconds": multi_stats["min"],
+        "multi_worker_seconds_median": multi_stats["median"],
+        "single_worker_leaves_per_second": leaves_count / single_stats["median"],
+        "multi_worker_leaves_per_second": leaves_count / multi_stats["median"],
+        "speedup": speedup,
+        "bit_identical": True,
+        "duplicate_replays": 0,
+    }
+    if cpu_count < workers:
+        report["note"] = (
+            f"host has {cpu_count} CPU(s); a {workers}-worker speedup is "
+            f"physically capped near {min(cpu_count, workers)}.0x here — run on "
+            f">= {workers} cores for the representative number"
+        )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmark",
+        choices=("scoring", "runner"),
+        default="scoring",
+        help="which benchmark to run (default: scoring)",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -205,15 +291,30 @@ def main(argv=None) -> int:
         "--points",
         type=int,
         default=1024,
-        help="envelope grid width (acceptance floor is 64; default 1024)",
+        help="scoring: envelope grid width (acceptance floor is 64; default 1024)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="runner: service worker daemons on the multi-worker side (default 4)",
+    )
+    parser.add_argument(
+        "--leaves",
+        type=int,
+        default=None,
+        help="runner: cold leaves per timed run (default 16; 6 with --smoke)",
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="timing repeats (matched pairs; median ratio reported)"
     )
     parser.add_argument(
         "--output",
-        default="BENCH_scoring.json",
-        help="where to write the JSON report ('-' prints to stdout only)",
+        default=None,
+        help=(
+            "where to write the JSON report ('-' prints to stdout only; "
+            "default BENCH_<benchmark>.json)"
+        ),
     )
     parser.add_argument(
         "--rounds",
@@ -225,47 +326,74 @@ def main(argv=None) -> int:
 
     if args.points < 64:
         parser.error("--points must be >= 64 (the acceptance grid floor)")
+    if args.workers < 2:
+        parser.error("--workers must be >= 2 (it is compared against 1 worker)")
     fidelity = SMOKE_FIDELITY if args.smoke else FAST_FIDELITY
-    repeats = args.repeats if args.repeats is not None else (5 if args.smoke else 60)
-    rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 6)
+    output = args.output if args.output is not None else f"BENCH_{args.benchmark}.json"
 
-    if not have_numpy():
-        print(
-            "FAIL: numpy is unavailable — the vectorized path under test "
-            "cannot run (scalar fallback only)",
-            file=sys.stderr,
-        )
-        return 1
-
-    with tempfile.TemporaryDirectory(prefix="repro-bench-scoring-") as cache_dir:
-        runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+    if args.benchmark == "runner":
+        repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 15)
+        rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 3)
+        leaves = args.leaves if args.leaves is not None else (6 if args.smoke else 16)
         report = {
-            "benchmark": "scoring",
+            "benchmark": "runner",
             "smoke": args.smoke,
             "repeats": repeats,
             "rounds": rounds,
-            "batch_scoring": benchmark_batch_scoring(
-                runner, fidelity, args.points, repeats, rounds
-            ),
-            "contention_solve": benchmark_contention_solve(
-                runner, fidelity, repeats, rounds
+            "cold_plan_throughput": benchmark_runner_service(
+                fidelity, leaves, args.workers, repeats, rounds
             ),
         }
+    else:
+        repeats = args.repeats if args.repeats is not None else (5 if args.smoke else 60)
+        rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 6)
+        if not have_numpy():
+            print(
+                "FAIL: numpy is unavailable — the vectorized path under test "
+                "cannot run (scalar fallback only)",
+                file=sys.stderr,
+            )
+            return 1
+        with tempfile.TemporaryDirectory(prefix="repro-bench-scoring-") as cache_dir:
+            runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+            report = {
+                "benchmark": "scoring",
+                "smoke": args.smoke,
+                "repeats": repeats,
+                "rounds": rounds,
+                "batch_scoring": benchmark_batch_scoring(
+                    runner, fidelity, args.points, repeats, rounds
+                ),
+                "contention_solve": benchmark_contention_solve(
+                    runner, fidelity, repeats, rounds
+                ),
+            }
 
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)
-    if args.output != "-":
-        with open(args.output, "w", encoding="utf-8") as handle:
+    if output != "-":
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
 
-    batch = report["batch_scoring"]["speedup"]
-    solve = report["contention_solve"]["speedup"]
-    print(
-        f"\nbatch scoring: {batch:.1f}x over scalar "
-        f"({report['batch_scoring']['points']} points); "
-        f"contention solve: {solve:.2f}x with precomputed scorers",
-        file=sys.stderr,
-    )
+    if args.benchmark == "runner":
+        cold = report["cold_plan_throughput"]
+        print(
+            f"\ncold plan through the service: {cold['speedup']:.2f}x at "
+            f"{cold['workers']} workers over 1 "
+            f"({cold['multi_worker_leaves_per_second']:.1f} vs "
+            f"{cold['single_worker_leaves_per_second']:.1f} leaves/s on a "
+            f"{cold['cpu_count']}-CPU host)",
+            file=sys.stderr,
+        )
+    else:
+        batch = report["batch_scoring"]["speedup"]
+        solve = report["contention_solve"]["speedup"]
+        print(
+            f"\nbatch scoring: {batch:.1f}x over scalar "
+            f"({report['batch_scoring']['points']} points); "
+            f"contention solve: {solve:.2f}x with precomputed scorers",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -11,16 +11,30 @@ overlaps one) costs only JSON loads, and re-scoring under different
 analytic parameters (MLP, peak IPC, energy constants — e.g. via
 ``ExperimentRunner.score_many`` or :mod:`repro.analysis.rescoring`) hits
 the measurement tier and never re-replays a trace.
+
+Batches can also execute through the distributed experiment service
+(``REPRO_RUNNER_BACKEND=service``): leaves become jobs on a
+:class:`JobQueue` drained by work-stealing worker daemons
+(``python -m repro.runner serve``) into the same shared cache — see
+:mod:`repro.runner.service`.
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.runner import (
+    BACKEND_ENV,
     CACHE_MAX_BYTES_ENV,
     ExperimentResult,
     ExperimentRunner,
     active_runner,
     set_active_runner,
     using_runner,
+)
+from repro.runner.queue import FileQueue, InProcessQueue, Job, JobQueue, JobStatus
+from repro.runner.service import (
+    DistributedBackend,
+    ExperimentService,
+    ServiceReport,
+    TaskOutcome,
 )
 from repro.runner.spec import (
     REPLAY_SCHEMA_VERSION,
@@ -33,17 +47,27 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
     "CACHE_MAX_BYTES_ENV",
     "DEFAULT_CACHE_DIR",
+    "DistributedBackend",
     "ExperimentCell",
     "ExperimentPlan",
     "ExperimentResult",
     "ExperimentRunner",
+    "ExperimentService",
     "ExperimentSpec",
+    "FileQueue",
+    "InProcessQueue",
+    "Job",
+    "JobQueue",
+    "JobStatus",
     "REPLAY_SCHEMA_VERSION",
     "ResultCache",
     "RunSpec",
     "SCORE_SCHEMA_VERSION",
+    "ServiceReport",
+    "TaskOutcome",
     "active_runner",
     "content_hash",
     "set_active_runner",

@@ -1,12 +1,27 @@
-"""``python -m repro.runner`` — the cache maintenance CLI.
+"""``python -m repro.runner`` — cache maintenance CLI and worker daemon.
 
-Equivalent to ``python -m repro.runner.cache`` but without runpy's
-double-import ``RuntimeWarning`` (the package ``__init__`` imports
-``repro.runner.cache``, so running that submodule with ``-m`` executes its
-body twice).  See :func:`repro.runner.cache.main` for the commands.
+``python -m repro.runner serve ...`` runs one work-stealing worker daemon of
+the distributed experiment service (:func:`repro.runner.service.serve_main`);
+every other invocation is the cache maintenance CLI
+(:func:`repro.runner.cache.main` — ``stats``/``prune``).
+
+This module exists so neither submodule is executed twice by runpy (the
+package ``__init__`` imports them, so running a submodule directly with
+``-m`` would run its body twice with a ``RuntimeWarning``).
 """
 
-from repro.runner.cache import main
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "serve":
+        from repro.runner.service import serve_main
+
+        return serve_main(sys.argv[2:])
+    from repro.runner.cache import main as cache_main
+
+    return cache_main()
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -109,7 +109,24 @@ class _JsonTier:
         return payload
 
     def store_payload(self, key: str, payload: Dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``.
+
+        Safe under any number of concurrent writer *processes* sharing the
+        directory (the distributed service's workers all publish here):
+
+        * Each writer serializes into its own ``mkstemp`` temp file and
+          commits with ``os.replace`` — one atomic rename.  Readers
+          therefore never observe a torn or partially written entry: the
+          entry path either does not exist yet or names a complete file.
+        * Keys are content hashes, so racing writers carry identical
+          payloads and the last rename is a harmless no-op; there is no
+          read-modify-write anywhere, hence nothing to lock.
+        * A writer crashing mid-serialize leaves only a dotted ``.tmp-``
+          file, which entry globs skip and ``prune`` sweeps once stale.
+
+        The contract is stress-tested in
+        ``tests/runner/test_cache_concurrency.py``.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(

@@ -1,0 +1,106 @@
+"""JSON round-trip codec for the dataclasses that describe queued work.
+
+The distributed experiment service (:mod:`repro.runner.service`) ships leaf
+descriptions — application profiles, simulation configs, experiment cells —
+to worker processes as JSON job payloads, so every transported dataclass
+needs an exact decode of the canonical render :func:`repro.runner.spec._jsonable`
+produces.  Rather than hand-writing ``from_jsonable`` for each nested config
+(GPU, LLC, DRAM, NoC, Morpheus, fidelity, energies, ...), :func:`decode`
+reconstructs any of them generically from the dataclass type hints:
+
+* nested dataclasses recurse,
+* ``Enum`` fields decode from their values,
+* ``Optional``/``Union`` members try each candidate type,
+* ``Tuple[X, ...]``/``List[X]``/``Dict[str, X]`` decode element-wise.
+
+The decode is exact for the payloads we ship (numbers, strings, bools and
+``None`` pass through untouched; floats survive JSON via repr), so a
+round-tripped :class:`~repro.runner.spec.RunSpec` derives bit-identical
+replay and score keys — the property the service's at-most-once replay
+dedup rests on (asserted in ``tests/runner/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any, Dict, Tuple, Type, TypeVar, Union
+
+from repro.runner.spec import _jsonable
+
+T = TypeVar("T")
+
+
+def encode(value: Any) -> Any:
+    """Render ``value`` (dataclasses, enums, containers) as JSON-compatible data.
+
+    The same canonical render content keys are derived from
+    (:func:`repro.runner.spec._jsonable`), re-exported under a public name
+    for job payloads.
+    """
+    return _jsonable(value)
+
+
+def decode(cls: Type[T], payload: Any) -> T:
+    """Rebuild an instance of dataclass ``cls`` from :func:`encode` output."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"decode() needs a dataclass type, got {cls!r}")
+    return _decode_value(cls, payload)
+
+
+def _decode_value(annotation: Any, value: Any) -> Any:
+    """Decode one value against its type annotation."""
+    if value is None:
+        return None
+    origin = typing.get_origin(annotation)
+    if origin is Union:
+        return _decode_union(annotation, value)
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        return _decode_dataclass(annotation, value)
+    if isinstance(annotation, type) and issubclass(annotation, enum.Enum):
+        return annotation(value)
+    if origin in (tuple, Tuple):
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode_value(args[0], item) for item in value)
+        if args:
+            return tuple(
+                _decode_value(arg, item) for arg, item in zip(args, value)
+            )
+        return tuple(value)
+    if origin is list:
+        args = typing.get_args(annotation)
+        element = args[0] if args else Any
+        return [_decode_value(element, item) for item in value]
+    if origin is dict:
+        args = typing.get_args(annotation)
+        element = args[1] if len(args) == 2 else Any
+        return {key: _decode_value(element, item) for key, item in value.items()}
+    return value
+
+
+def _decode_union(annotation: Any, value: Any) -> Any:
+    """Decode against the first ``Union`` member that accepts the value."""
+    candidates = [arg for arg in typing.get_args(annotation) if arg is not type(None)]
+    errors = []
+    for candidate in candidates:
+        try:
+            return _decode_value(candidate, value)
+        except (TypeError, ValueError) as error:
+            errors.append(error)
+    raise ValueError(
+        f"value {value!r} matched no member of {annotation}: {errors}"
+    )
+
+
+def _decode_dataclass(cls: Type[T], payload: Any) -> T:
+    if not isinstance(payload, dict):
+        raise TypeError(f"decoding {cls.__name__} needs a dict, got {type(payload)}")
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        if not field.init or field.name not in payload:
+            continue
+        kwargs[field.name] = _decode_value(hints[field.name], payload[field.name])
+    return cls(**kwargs)

@@ -1,0 +1,496 @@
+"""The job-queue protocol behind the distributed experiment service.
+
+A queue holds :class:`Job` records — small JSON payloads naming relocatable
+work (one trace replay, one plan cell) whose *results* travel through the
+shared content-addressed :class:`~repro.runner.cache.ResultCache`, never
+through the queue.  That split keeps the protocol tiny and backend-agnostic:
+
+* ``submit(job)`` — register a task.  Submission is **idempotent per
+  job id** (a job already pending, leased or done is not enqueued again),
+  which is what makes replay jobs at-most-once per ``replay_key`` across
+  any number of concurrent coordinators.
+* ``claim(worker, lease_seconds)`` — atomically take one pending job under
+  a lease.  Two workers can never hold the same job: the filesystem
+  backend claims by atomic rename, the in-process backend under a lock.
+* ``heartbeat(job_id, worker)`` — extend a held lease (long replays).
+* ``complete(job_id, worker, result)`` — finish a job, recording its
+  outcome (runtime, counters) for the coordinator's accounting.
+* ``requeue_expired()`` — return crashed workers' jobs to the pending
+  state.  A lease whose heartbeat is older than its ``lease_seconds`` is
+  expired; exactly one sweeper wins the requeue (atomic rename again), so
+  a crashed job is retried exactly once per expiry.
+
+Two implementations ship today: :class:`InProcessQueue` (single-process,
+lock-based — the serial backend and the protocol reference) and
+:class:`FileQueue` (a queue directory shared by worker daemons on the same
+filesystem).  The protocol deliberately never exposes filesystem paths to
+callers, so a Redis- or HTTP-backed queue is a drop-in: implement the same
+six methods against ``BRPOPLPUSH``/``SET NX``-style primitives and hand it
+to :class:`~repro.runner.service.ExperimentService`.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Job states a queue reports.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+#: Default lease duration: far longer than any leaf replay, short enough
+#: that a crashed worker's jobs are retried promptly.
+DEFAULT_LEASE_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class Job:
+    """One relocatable unit of work.
+
+    ``job_id`` doubles as the dedup key: replay jobs use their
+    ``replay_key`` (so one replay can never be enqueued — or executed —
+    twice), plan-cell jobs a content hash of the cell.  ``payload`` is a
+    JSON-compatible description built by
+    :mod:`repro.runner.codec`; the queue never interprets it.
+    """
+
+    job_id: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"job_id": self.job_id, "kind": self.kind, "payload": self.payload}
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "Job":
+        return cls(
+            job_id=data["job_id"], kind=data["kind"], payload=data.get("payload", {})
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time view of one registered job."""
+
+    job_id: str
+    state: str
+    attempts: int = 0
+    worker: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+
+class JobQueue(abc.ABC):
+    """The claim/lease/heartbeat/complete/requeue protocol (see module doc)."""
+
+    @abc.abstractmethod
+    def submit(self, job: Job) -> bool:
+        """Register ``job``; ``False`` if its id is already known (no-op)."""
+
+    @abc.abstractmethod
+    def claim(
+        self, worker: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        """Atomically take one pending job under a lease, or ``None``."""
+
+    @abc.abstractmethod
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        """Refresh a held lease; ``False`` if the lease is no longer held."""
+
+    @abc.abstractmethod
+    def complete(self, job_id: str, worker: str, result: Dict[str, Any]) -> None:
+        """Finish a leased job, recording ``result`` for the coordinator."""
+
+    @abc.abstractmethod
+    def requeue_expired(self) -> List[str]:
+        """Return expired-lease jobs to pending; the requeued job ids."""
+
+    @abc.abstractmethod
+    def status(self, job_id: str) -> Optional[JobStatus]:
+        """The job's current state, or ``None`` if it was never submitted."""
+
+    @abc.abstractmethod
+    def counts(self) -> Dict[str, int]:
+        """``{state: count}`` over every registered job (status polling)."""
+
+    @abc.abstractmethod
+    def forget(self, job_id: str) -> bool:
+        """Drop a *done* job's record so the id can be submitted again.
+
+        Administrative: coordinators use it to re-register work whose done
+        record outlived its cached result (e.g. the measurement tier was
+        pruned after the job completed).  Pending/leased jobs are left
+        alone; returns whether a record was dropped.
+        """
+
+    # -- conveniences shared by all backends ------------------------------------------
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The completion record of a done job, or ``None``."""
+        status = self.status(job_id)
+        if status is None or status.state != DONE:
+            return None
+        return status.result
+
+
+class InProcessQueue(JobQueue):
+    """A single-process queue (plain dicts; no locking needed beyond the GIL).
+
+    The serial reference implementation: the coordinator drains it inline,
+    which still exercises registration, claim dedup, lease accounting and
+    per-task runtime records — useful for tests and for environments
+    without working multiprocessing.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._leases: Dict[str, Dict[str, Any]] = {}
+        self._done: Dict[str, Dict[str, Any]] = {}
+        self._attempts: Dict[str, int] = {}
+
+    def submit(self, job: Job) -> bool:
+        if (
+            job.job_id in self._pending
+            or job.job_id in self._leases
+            or job.job_id in self._done
+        ):
+            return False
+        self._pending[job.job_id] = job
+        self._order.append(job.job_id)
+        self._attempts.setdefault(job.job_id, 0)
+        return True
+
+    def claim(
+        self, worker: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        while self._order:
+            job_id = self._order[0]
+            if job_id not in self._pending:
+                self._order.pop(0)
+                continue
+            job = self._pending.pop(job_id)
+            self._order.pop(0)
+            self._leases[job_id] = {
+                "job": job,
+                "worker": worker,
+                "lease_seconds": lease_seconds,
+                "heartbeat": time.monotonic(),
+            }
+            return job
+        return None
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        lease = self._leases.get(job_id)
+        if lease is None or lease["worker"] != worker:
+            return False
+        lease["heartbeat"] = time.monotonic()
+        return True
+
+    def complete(self, job_id: str, worker: str, result: Dict[str, Any]) -> None:
+        lease = self._leases.pop(job_id, None)
+        self._done[job_id] = {
+            "worker": worker,
+            "attempts": self._attempts.get(job_id, 0),
+            "result": result,
+            "job": lease["job"].to_jsonable() if lease else None,
+        }
+
+    def requeue_expired(self) -> List[str]:
+        now = time.monotonic()
+        requeued = []
+        for job_id, lease in list(self._leases.items()):
+            if now - lease["heartbeat"] > lease["lease_seconds"]:
+                del self._leases[job_id]
+                self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
+                self._pending[job_id] = lease["job"]
+                self._order.append(job_id)
+                requeued.append(job_id)
+        return requeued
+
+    def status(self, job_id: str) -> Optional[JobStatus]:
+        if job_id in self._done:
+            record = self._done[job_id]
+            return JobStatus(
+                job_id=job_id,
+                state=DONE,
+                attempts=record["attempts"],
+                worker=record["worker"],
+                result=record["result"],
+            )
+        if job_id in self._leases:
+            lease = self._leases[job_id]
+            return JobStatus(
+                job_id=job_id,
+                state=LEASED,
+                attempts=self._attempts.get(job_id, 0),
+                worker=lease["worker"],
+            )
+        if job_id in self._pending:
+            return JobStatus(
+                job_id=job_id, state=PENDING, attempts=self._attempts.get(job_id, 0)
+            )
+        return None
+
+    def forget(self, job_id: str) -> bool:
+        return self._done.pop(job_id, None) is not None
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            PENDING: len(self._pending),
+            LEASED: len(self._leases),
+            DONE: len(self._done),
+        }
+
+
+class FileQueue(JobQueue):
+    """A queue directory shared by worker processes on one filesystem.
+
+    Layout: ``<dir>/pending/<job_id>.json`` → ``<dir>/leased/<job_id>.json``
+    → ``<dir>/done/<job_id>.json``.  Every state transition is one atomic
+    ``os.replace``/``os.rename``, the same primitive the result cache's
+    writers rely on, so:
+
+    * **claim** renames pending → leased; exactly one contending worker's
+      rename succeeds, the losers see ``FileNotFoundError`` and move to the
+      next candidate.  Two workers can therefore never execute the same
+      job — this is the at-most-once replay guarantee.
+    * **heartbeat** touches the lease file's mtime; a lease whose mtime is
+      older than its recorded ``lease_seconds`` is expired.
+    * **complete** atomically publishes the done record *before* dropping
+      the lease, so a crash in between leaves a stale lease that the
+      expiry sweep discards (the done record wins) instead of a retry.
+    * **requeue_expired** renames an expired lease back to pending with its
+      attempt count bumped; the rename is atomic, so concurrent sweepers
+      requeue a crashed job exactly once per expiry.
+    """
+
+    PENDING_DIR = "pending"
+    LEASED_DIR = "leased"
+    DONE_DIR = "done"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        for name in (self.PENDING_DIR, self.LEASED_DIR, self.DONE_DIR):
+            (self.directory / name).mkdir(parents=True, exist_ok=True)
+
+    # -- path helpers ------------------------------------------------------------------
+
+    def _pending_path(self, job_id: str) -> Path:
+        return self.directory / self.PENDING_DIR / f"{job_id}.json"
+
+    def _leased_path(self, job_id: str) -> Path:
+        return self.directory / self.LEASED_DIR / f"{job_id}.json"
+
+    def _done_path(self, job_id: str) -> Path:
+        return self.directory / self.DONE_DIR / f"{job_id}.json"
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: Dict[str, Any]) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def submit(self, job: Job) -> bool:
+        if (
+            self._done_path(job.job_id).exists()
+            or self._leased_path(job.job_id).exists()
+            or self._pending_path(job.job_id).exists()
+        ):
+            return False
+        # Two coordinators racing on the same id both write identical
+        # payloads (ids are content keys), so the last rename is harmless.
+        self._write_atomic(
+            self._pending_path(job.job_id),
+            {"job": job.to_jsonable(), "attempts": 0},
+        )
+        return True
+
+    def claim(
+        self, worker: str, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> Optional[Job]:
+        pending_dir = self.directory / self.PENDING_DIR
+        try:
+            candidates = sorted(
+                entry for entry in os.listdir(pending_dir)
+                if entry.endswith(".json") and not entry.startswith(".")
+            )
+        except OSError:
+            return None
+        for name in candidates:
+            job_id = name[: -len(".json")]
+            pending = pending_dir / name
+            leased = self._leased_path(job_id)
+            try:
+                os.rename(pending, leased)
+            except OSError:
+                continue  # another worker won this job; steal the next one
+            # Touch first: the rename preserved the pending file's mtime,
+            # and the expiry sweep reads mtime as the lease heartbeat.
+            os.utime(leased)
+            record = self._read(leased) or {}
+            record.update(
+                worker=worker,
+                lease_seconds=lease_seconds,
+                claimed_at=time.time(),
+            )
+            self._write_atomic(leased, record)
+            job_data = record.get("job")
+            if job_data is None:
+                # An unreadable pending record cannot be executed; surface
+                # it as done-with-error so the coordinator does not hang.
+                self.complete(job_id, worker, {"error": "unreadable job record"})
+                continue
+            return Job.from_jsonable(job_data)
+        return None
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        leased = self._leased_path(job_id)
+        record = self._read(leased)
+        if record is None or record.get("worker") != worker:
+            return False
+        try:
+            os.utime(leased)
+        except OSError:
+            return False
+        return True
+
+    def complete(self, job_id: str, worker: str, result: Dict[str, Any]) -> None:
+        record = self._read(self._leased_path(job_id)) or {}
+        self._write_atomic(
+            self._done_path(job_id),
+            {
+                "job": record.get("job"),
+                "worker": worker,
+                "attempts": int(record.get("attempts", 0)),
+                "result": result,
+                "completed_at": time.time(),
+            },
+        )
+        try:
+            os.unlink(self._leased_path(job_id))
+        except OSError:
+            pass
+
+    def requeue_expired(self) -> List[str]:
+        leased_dir = self.directory / self.LEASED_DIR
+        requeued: List[str] = []
+        try:
+            names = list(os.listdir(leased_dir))
+        except OSError:
+            return requeued
+        now = time.time()
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            job_id = name[: -len(".json")]
+            leased = leased_dir / name
+            record = self._read(leased)
+            if record is None:
+                continue
+            lease_seconds = float(record.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+            try:
+                heartbeat_age = now - leased.stat().st_mtime
+            except OSError:
+                continue  # completed (or requeued) under us
+            if heartbeat_age <= lease_seconds:
+                continue
+            if self._done_path(job_id).exists():
+                # The worker published its result but crashed before
+                # dropping the lease; the result stands, the lease goes.
+                try:
+                    os.unlink(leased)
+                except OSError:
+                    pass
+                continue
+            claimant = leased_dir / f".requeue-{name}"
+            try:
+                os.rename(leased, claimant)
+            except OSError:
+                continue  # another sweeper won the requeue
+            self._write_atomic(
+                self._pending_path(job_id),
+                {
+                    "job": record.get("job"),
+                    "attempts": int(record.get("attempts", 0)) + 1,
+                },
+            )
+            try:
+                os.unlink(claimant)
+            except OSError:
+                pass
+            requeued.append(job_id)
+        return requeued
+
+    def status(self, job_id: str) -> Optional[JobStatus]:
+        record = self._read(self._done_path(job_id))
+        if record is not None:
+            return JobStatus(
+                job_id=job_id,
+                state=DONE,
+                attempts=int(record.get("attempts", 0)),
+                worker=record.get("worker"),
+                result=record.get("result"),
+            )
+        record = self._read(self._leased_path(job_id))
+        if record is not None:
+            return JobStatus(
+                job_id=job_id,
+                state=LEASED,
+                attempts=int(record.get("attempts", 0)),
+                worker=record.get("worker"),
+            )
+        record = self._read(self._pending_path(job_id))
+        if record is not None:
+            return JobStatus(
+                job_id=job_id, state=PENDING, attempts=int(record.get("attempts", 0))
+            )
+        return None
+
+    def forget(self, job_id: str) -> bool:
+        try:
+            os.unlink(self._done_path(job_id))
+            return True
+        except OSError:
+            return False
+
+    def _count_dir(self, name: str) -> int:
+        try:
+            return sum(
+                1
+                for entry in os.listdir(self.directory / name)
+                if entry.endswith(".json") and not entry.startswith(".")
+            )
+        except OSError:
+            return 0
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            PENDING: self._count_dir(self.PENDING_DIR),
+            LEASED: self._count_dir(self.LEASED_DIR),
+            DONE: self._count_dir(self.DONE_DIR),
+        }

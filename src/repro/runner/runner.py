@@ -38,7 +38,9 @@ from __future__ import annotations
 import os
 import time
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
@@ -58,6 +60,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Environment variable setting the default worker count (0 = serial).
 WORKERS_ENV = "REPRO_RUNNER_WORKERS"
+
+#: Environment variable selecting the execution backend: ``local`` (in-process
+#: worker pools, the default) or ``service`` (the distributed experiment
+#: service of :mod:`repro.runner.service` — replay/cell batches are registered
+#: on a job queue and drained by work-stealing worker daemons).
+BACKEND_ENV = "REPRO_RUNNER_BACKEND"
+
+#: The backends :class:`ExperimentRunner` accepts.
+BACKENDS = ("local", "service")
 
 #: Environment variable disabling the on-disk cache when set to ``0``.
 DISK_CACHE_ENV = "REPRO_DISK_CACHE"
@@ -143,6 +154,10 @@ class ExperimentRunner:
         use_disk_cache: Persist results to disk (``$REPRO_DISK_CACHE=0``
             disables the default).
         energy_model: Energy model shared by all runs.
+        backend: ``"local"`` (in-process worker pools) or ``"service"``
+            (distributed execution through the job queue of
+            :mod:`repro.runner.service`).  ``None`` reads
+            ``$REPRO_RUNNER_BACKEND`` (default ``"local"``).
     """
 
     def __init__(
@@ -151,26 +166,42 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         use_disk_cache: Optional[bool] = None,
         energy_model: Optional[EnergyModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if max_workers is None:
             max_workers = int(os.environ.get(WORKERS_ENV, "0") or 0)
         if use_disk_cache is None:
             use_disk_cache = os.environ.get(DISK_CACHE_ENV, "1") != "0"
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV, "").strip() or "local"
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown runner backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.max_workers = max_workers
         self.use_disk_cache = use_disk_cache
+        self.backend = backend
         self.disk_cache = ResultCache(cache_dir)
         self._energy_model = energy_model
         self.memory_hits = 0
         self.measurement_memory_hits = 0
-        #: Trace replays actually executed on behalf of this runner (serial
-        #: or via worker pools).  A warm-cache or analytic re-scoring pass
-        #: keeps this at zero.
+        #: Trace replays actually executed on behalf of this runner (serial,
+        #: via worker pools, or — folded back from per-task accounting — via
+        #: service workers).  A warm-cache or analytic re-scoring pass keeps
+        #: this at zero.
         self.replays = 0
+        #: Per-batch :class:`~repro.runner.service.ServiceReport` accounting
+        #: when the ``service`` backend executed work for this runner.
+        self.service_reports: List = []
         self._memory: Dict[str, SimulationStats] = {}
         self._measurement_memory: Dict[str, ReplayMeasurement] = {}
         self._scenario_memory: Dict[str, Dict] = {}
         self._performance_model = PerformanceModel(energy_model)
         self._cache_suspended = False
+        self._service = None
+        self._service_finalizer = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer = None
 
     # -- cache plumbing ---------------------------------------------------------------
 
@@ -203,6 +234,7 @@ class ExperimentRunner:
             max_workers=self.max_workers,
             use_disk_cache=self.use_disk_cache,
             energy_model=energy_model,
+            backend=self.backend,
         )
         sibling.disk_cache = self.disk_cache
         sibling._memory = self._memory
@@ -542,6 +574,28 @@ class ExperimentRunner:
                 else:
                     missing.append(key)
 
+            if missing and parallel and self._service_enabled():
+                # Distributed backend: one replay job per missing key; the
+                # workers publish measurements to the shared cache and the
+                # batch is re-read below through the ordinary serial path
+                # (bit-identity by construction).  Any key the service could
+                # not materialize falls through to local execution.
+                self._service_backend().run_replays(
+                    self,
+                    [
+                        (leaves[by_replay[key][0]][0], leaves[by_replay[key][0]][1], key)
+                        for key in missing
+                    ],
+                )
+                still_missing: List[str] = []
+                for key in missing:
+                    loaded = self._lookup_measurement(key)
+                    if loaded is not None:
+                        measurements[key] = loaded
+                    else:  # pragma: no cover - defensive
+                        still_missing.append(key)
+                missing = still_missing
+
             workers = self._effective_workers(len(missing)) if parallel else 1
             computed: Optional[List[ReplayMeasurement]] = None
             if missing and workers > 1:
@@ -605,7 +659,14 @@ class ExperimentRunner:
         start = time.perf_counter()
         workers = self._effective_workers(len(plan.cells))
         computed: Optional[List[SimulationStats]] = None
-        if workers > 1:
+        if self._service_enabled() and plan.cells:
+            # Distributed backend: every cell becomes a service job; workers
+            # publish all leaf results to the shared cache and the plan is
+            # then re-executed serially over the warm cache — pure cache
+            # hits, bit-identical to a serial run by construction.
+            self._service_backend().run_plan_cells(self, plan)
+            computed = [self._execute_cell(cell, plan.spec) for cell in plan.cells]
+        if computed is None and workers > 1:
             jobs = [
                 (cell, plan.spec, self.cache_dir, self.use_disk_cache, self.energy_model)
                 for cell in plan.cells
@@ -664,6 +725,50 @@ class ExperimentRunner:
                 predictor=cell.predictor,
             )
 
+    # -- service backend --------------------------------------------------------------
+
+    def _service_enabled(self) -> bool:
+        """Whether batches should route through the distributed service.
+
+        The service publishes results through the shared on-disk cache, so
+        it is only usable when that cache is on and not bypassed; otherwise
+        the runner silently uses the local backend (results are identical).
+        """
+        return (
+            self.backend == "service"
+            and self.use_disk_cache
+            and not self._cache_suspended
+        )
+
+    def _service_backend(self):
+        """The lazily created :class:`~repro.runner.service.DistributedBackend`.
+
+        Created on first use (the first batch with actual cache misses), so
+        warm-cache runs under ``REPRO_RUNNER_BACKEND=service`` never touch
+        the queue or spawn a worker.  Worker count: ``$REPRO_SERVICE_WORKERS``
+        or this runner's ``max_workers`` (min 1 — the service parallelizes
+        across daemons, not in-process pools).
+        """
+        if self._service is None:
+            # Imported lazily: the service module imports this one.
+            from repro.runner.service import (
+                SERVICE_WORKERS_ENV,
+                DistributedBackend,
+                ExperimentService,
+            )
+
+            env_workers = int(os.environ.get(SERVICE_WORKERS_ENV, "0") or 0)
+            service = ExperimentService(
+                cache_dir=self.cache_dir,
+                num_workers=env_workers if env_workers > 0 else max(1, self.max_workers),
+                use_disk_cache=self.use_disk_cache,
+            )
+            self._service = DistributedBackend(service)
+            # Spawned worker daemons outlive one batch (they idle-exit or
+            # wait for more work); stop them when this runner is dropped.
+            self._service_finalizer = weakref.finalize(self, service.stop)
+        return self._service
+
     # -- worker-pool plumbing ---------------------------------------------------------
 
     def _effective_workers(self, num_jobs: int) -> int:
@@ -674,22 +779,94 @@ class ExperimentRunner:
             return 1
         return min(workers, num_jobs, os.cpu_count() or 1)
 
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent worker pool, created on first use (or ``None``).
+
+        One ``ProcessPoolExecutor`` serves every ``_pool_map`` call for the
+        life of the runner, so a plan/scenario run pays worker startup once
+        instead of once per batch.  Sized ``min(max_workers, cpu_count)`` —
+        an upper bound for every per-batch ``_effective_workers`` value, so
+        no call is ever under-provisioned; idle workers cost nothing.
+        """
+        if self._pool is None:
+            size = min(self.max_workers, os.cpu_count() or 1)
+            if size < 1:
+                return None
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=size)
+            except (OSError, PermissionError, NotImplementedError, ImportError) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error}); running serially",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                return None
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        """Shut the persistent pool down (idempotent; a later call recreates it)."""
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def _pool_map(self, func, jobs, workers: int) -> Optional[List]:
-        """Map ``func`` over ``jobs`` in a process pool; ``None`` on failure.
+        """Map ``func`` over ``jobs`` in the persistent pool; ``None`` on failure.
 
         Sandboxes without working multiprocessing primitives fall back to
-        serial execution — results are identical either way.
+        serial execution — results are identical either way.  A pool whose
+        workers died (``BrokenProcessPool``) is torn down so the next batch
+        can start a fresh one.
         """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(func, jobs))
-        except (OSError, PermissionError, NotImplementedError, ImportError) as error:
+            return list(pool.map(func, jobs))
+        except (
+            BrokenProcessPool,
+            OSError,
+            PermissionError,
+            NotImplementedError,
+            ImportError,
+        ) as error:
+            self._teardown_pool()
             warnings.warn(
                 f"process pool unavailable ({error}); running serially",
                 RuntimeWarning,
                 stacklevel=3,
             )
             return None
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pooled resources: worker processes, service daemons.
+
+        Idempotent, and optional — both resources are also reclaimed when
+        the runner is garbage-collected (and are created lazily, so a
+        runner that never pooled work holds nothing).  The on-disk cache
+        needs no closing.
+        """
+        self._teardown_pool()
+        self._service = None
+        finalizer, self._service_finalizer = self._service_finalizer, None
+        if finalizer is not None:
+            finalizer()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer body for the persistent pool (module-level: picklable, no self)."""
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _replay_worker(
@@ -722,6 +899,7 @@ def _cell_worker(
         max_workers=0,
         use_disk_cache=use_disk_cache,
         energy_model=energy_model,
+        backend="local",
     )
     set_active_runner(runner)
     stats = runner._execute_cell(cell, spec)

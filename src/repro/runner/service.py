@@ -1,0 +1,733 @@
+"""Distributed experiment service: work-stealing workers behind the shared cache.
+
+Evaluation sweeps are embarrassingly parallel at the leaf level, and since
+the two-phase split every leaf is *relocatable*: a ``replay_key`` names its
+measurement and a ``score_key`` its stats wherever they were computed.  This
+module exploits that: a coordinator expands a batch of work into
+deduplicated **jobs** (one trace replay per distinct replay key, one plan
+cell per distinct cell), registers them on a :class:`~repro.runner.queue.JobQueue`,
+and a pool of work-stealing worker daemons drains the queue into the shared
+content-addressed :class:`~repro.runner.cache.ResultCache` tiers.  Results
+never travel through the queue — workers publish measurements/stats to the
+cache, the coordinator re-derives the batch from the (now warm) cache
+through the ordinary serial path, so a distributed run is **bit-identical**
+to a serial one by construction.
+
+Guarantees:
+
+* **At-most-once replay per replay key.**  Replay job ids *are* replay
+  keys; queue submission is idempotent per id and a claim is one atomic
+  rename, so two workers can never replay the same key concurrently.
+* **Crash resumability.**  A killed worker's lease expires and the job is
+  requeued exactly once per expiry; a killed-and-restarted run finds
+  completed leaves in the cache (cache misses are the only thing enqueued)
+  and resumes without re-replaying them.
+* **Accounting.**  Every completed job records its worker, attempts,
+  runtime and cache-counter deltas; the coordinator folds them into the
+  requesting runner so ``replays``/tier counters stay truthful.
+
+Entry points:
+
+* ``python -m repro.runner serve --queue-dir DIR`` — run one worker daemon
+  (start any number, on any machine sharing the filesystem).
+* :class:`DistributedBackend` — the :class:`~repro.runner.runner.ExperimentRunner`
+  adapter, selected with ``REPRO_RUNNER_BACKEND=service``.  The scenario
+  engine inherits it automatically: scenario timelines lower to leaf
+  batches through ``ExperimentRunner.run_leaves``.
+
+The queue protocol (claim/lease/heartbeat/complete/requeue) is backend
+agnostic — see :mod:`repro.runner.queue` for the drop-in contract a
+Redis/HTTP implementation must satisfy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+import uuid
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.components import ComponentEnergies
+from repro.energy.model import EnergyModel
+from repro.runner import codec
+from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.runner.queue import (
+    DEFAULT_LEASE_SECONDS,
+    DONE,
+    FileQueue,
+    InProcessQueue,
+    Job,
+    JobQueue,
+)
+from repro.runner.spec import (
+    REPLAY_SCHEMA_VERSION,
+    SCORE_SCHEMA_VERSION,
+    ExperimentCell,
+    ExperimentPlan,
+    ExperimentSpec,
+    content_hash,
+)
+from repro.runner.runner import BACKEND_ENV
+from repro.sim.simulator import SimulationConfig
+from repro.workloads.applications import ApplicationProfile
+
+#: Environment variable setting the service's worker-daemon count.
+SERVICE_WORKERS_ENV = "REPRO_SERVICE_WORKERS"
+
+#: Environment variable overriding the queue directory (default:
+#: ``<cache_dir>/queue``, so workers and cache share one filesystem root).
+SERVICE_QUEUE_DIR_ENV = "REPRO_SERVICE_QUEUE_DIR"
+
+#: Job kinds the service understands.
+REPLAY_JOB = "replay"
+CELL_JOB = "cell"
+
+#: How long a coordinator waits for registered jobs before giving up.
+DEFAULT_WAIT_TIMEOUT_SECONDS = 600.0
+
+
+# -- job construction ------------------------------------------------------------------
+
+
+def replay_job(
+    profile: ApplicationProfile, config: SimulationConfig, replay_key: str
+) -> Job:
+    """The queue job replaying one leaf (job id == replay key ⇒ dedup)."""
+    return Job(
+        job_id=f"{REPLAY_JOB}-{replay_key}",
+        kind=REPLAY_JOB,
+        payload={
+            "profile": codec.encode(profile),
+            "config": codec.encode(config),
+            "replay_key": replay_key,
+        },
+    )
+
+
+def cell_job(
+    cell: ExperimentCell,
+    spec: ExperimentSpec,
+    energies: Optional[ComponentEnergies],
+) -> Job:
+    """The queue job evaluating one plan cell (content-hash id ⇒ dedup)."""
+    job_id = content_hash(
+        {
+            "schema": (REPLAY_SCHEMA_VERSION, SCORE_SCHEMA_VERSION),
+            "cell": cell,
+            "spec": spec,
+            "energies": energies,
+        }
+    )
+    return Job(
+        job_id=f"{CELL_JOB}-{job_id}",
+        kind=CELL_JOB,
+        payload={
+            "cell": codec.encode(cell),
+            "spec": codec.encode(spec),
+            "energies": codec.encode(energies) if energies is not None else None,
+        },
+    )
+
+
+# -- job execution (runs in workers and in the coordinator's inline drain) -------------
+
+
+def execute_job(
+    job: Job, cache_dir: str, use_disk_cache: bool = True
+) -> Dict[str, Any]:
+    """Execute one claimed job against the shared cache; the completion record.
+
+    Runs on a fresh serial runner pointed at the shared cache directory, so
+    the record's ``replays``/``counters`` are exact per-job deltas for the
+    coordinator's accounting, and all results land where every other runner
+    will find them.
+    """
+    # Imported here: the runner module lazily imports this one (backends).
+    from repro.runner.runner import ExperimentRunner, using_runner
+
+    start = time.perf_counter()
+    runner = ExperimentRunner(
+        cache_dir=cache_dir,
+        max_workers=0,
+        use_disk_cache=use_disk_cache,
+        backend="local",
+    )
+    if job.kind == REPLAY_JOB:
+        profile = codec.decode(ApplicationProfile, job.payload["profile"])
+        config = codec.decode(SimulationConfig, job.payload["config"])
+        runner.measurement_for(profile, config)
+    elif job.kind == CELL_JOB:
+        cell = codec.decode(ExperimentCell, job.payload["cell"])
+        spec = codec.decode(ExperimentSpec, job.payload["spec"])
+        energies_data = job.payload.get("energies")
+        if energies_data is not None:
+            runner = ExperimentRunner(
+                cache_dir=cache_dir,
+                max_workers=0,
+                use_disk_cache=use_disk_cache,
+                energy_model=EnergyModel(
+                    codec.decode(ComponentEnergies, energies_data)
+                ),
+                backend="local",
+            )
+        with using_runner(runner):
+            runner._execute_cell(cell, spec)
+    else:
+        raise ValueError(f"unknown job kind {job.kind!r}")
+    return {
+        "ok": True,
+        "kind": job.kind,
+        "runtime_seconds": time.perf_counter() - start,
+        "replays": runner.replays,
+        "counters": runner.disk_cache.tier_counters(),
+    }
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Background lease refresh while a worker executes one job."""
+
+    def __init__(
+        self, queue: JobQueue, job_id: str, worker: str, interval: float
+    ) -> None:
+        super().__init__(daemon=True)
+        self._queue = queue
+        self._job_id = job_id
+        self._worker = worker
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - timing dependent
+        while not self._stop.wait(self._interval):
+            if not self._queue.heartbeat(self._job_id, self._worker):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def worker_loop(
+    queue: JobQueue,
+    cache_dir: str,
+    worker_id: Optional[str] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    poll_seconds: float = 0.05,
+    idle_exit_seconds: Optional[float] = None,
+    stop_file: Optional[str] = None,
+    use_disk_cache: bool = True,
+    drain_and_exit: bool = False,
+) -> int:
+    """Drain ``queue`` into the shared cache; the number of jobs executed.
+
+    The work-stealing daemon body: claim whatever is pending (sweeping
+    expired leases of crashed peers on the way), execute it, publish the
+    result to the cache, complete the job.  Exits when ``stop_file``
+    appears, after ``idle_exit_seconds`` without work, or — with
+    ``drain_and_exit`` — as soon as the queue has nothing to claim.
+
+    A failing job completes with ``ok: False`` and its error message (the
+    coordinator re-raises); the daemon itself keeps serving.
+    """
+    worker = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    executed = 0
+    idle_since = time.monotonic()
+    while True:
+        if stop_file is not None and os.path.exists(stop_file):
+            break
+        queue.requeue_expired()
+        job = queue.claim(worker, lease_seconds)
+        if job is None:
+            if drain_and_exit:
+                break
+            if (
+                idle_exit_seconds is not None
+                and time.monotonic() - idle_since > idle_exit_seconds
+            ):
+                break
+            time.sleep(poll_seconds)
+            continue
+        heartbeat = _LeaseHeartbeat(queue, job.job_id, worker, lease_seconds / 3.0)
+        heartbeat.start()
+        try:
+            result = execute_job(job, cache_dir, use_disk_cache)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            heartbeat.stop()
+            queue.complete(job.job_id, worker, {"ok": False, "error": "interrupted"})
+            raise
+        except BaseException as error:
+            result = {"ok": False, "kind": job.kind, "error": repr(error)}
+        finally:
+            heartbeat.stop()
+        queue.complete(job.job_id, worker, result)
+        executed += 1
+        idle_since = time.monotonic()
+    return executed
+
+
+def _spawned_worker_main(
+    queue_dir: str,
+    cache_dir: str,
+    worker_id: str,
+    lease_seconds: float,
+    poll_seconds: float,
+    idle_exit_seconds: Optional[float],
+    stop_file: str,
+) -> None:  # pragma: no cover - runs in child processes
+    """Entry point of the daemons :class:`ExperimentService` spawns."""
+    worker_loop(
+        FileQueue(queue_dir),
+        cache_dir,
+        worker_id=worker_id,
+        lease_seconds=lease_seconds,
+        poll_seconds=poll_seconds,
+        idle_exit_seconds=idle_exit_seconds,
+        stop_file=stop_file,
+    )
+
+
+# -- coordinator -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The recorded completion of one registered job.
+
+    ``fresh`` distinguishes work this batch actually caused from a done
+    record that predated it (a warm re-registration): stale outcomes carry
+    their historical accounting but are excluded from the batch's folded
+    ``replays``/counter totals — a warm re-run costs zero and counts zero,
+    exactly like a warm serial run.
+    """
+
+    job_id: str
+    kind: str
+    worker: Optional[str]
+    attempts: int
+    runtime_seconds: float
+    replays: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    ok: bool = True
+    error: Optional[str] = None
+    fresh: bool = True
+
+
+@dataclass
+class ServiceReport:
+    """Per-task accounting of one drained batch."""
+
+    outcomes: Dict[str, TaskOutcome]
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def replays(self) -> int:
+        """Trace replays this batch actually caused (stale done records: zero)."""
+        return sum(o.replays for o in self.outcomes.values() if o.fresh)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Summed fresh-task runtimes (across all workers; > wall-clock when parallel)."""
+        return sum(o.runtime_seconds for o in self.outcomes.values() if o.fresh)
+
+    @property
+    def workers(self) -> List[str]:
+        """The distinct workers that completed the batch's tasks."""
+        return sorted(
+            {o.worker for o in self.outcomes.values() if o.worker is not None}
+        )
+
+    def raise_for_errors(self) -> None:
+        """Raise if any task completed unsuccessfully."""
+        failed = [o for o in self.outcomes.values() if not o.ok]
+        if failed:
+            details = "; ".join(f"{o.job_id}: {o.error}" for o in failed[:5])
+            raise RuntimeError(f"{len(failed)} service job(s) failed: {details}")
+
+
+class ExperimentService:
+    """Registers jobs on a queue and drains them through worker daemons.
+
+    Args:
+        cache_dir: Shared cache directory results are published to.
+        queue: An explicit :class:`~repro.runner.queue.JobQueue` (any
+            backend).  Default: a :class:`~repro.runner.queue.FileQueue`
+            under ``$REPRO_SERVICE_QUEUE_DIR`` or ``<cache_dir>/queue``
+            when workers are spawned, else an in-process queue.
+        num_workers: Worker daemons to keep alive while draining
+            (``$REPRO_SERVICE_WORKERS`` default, else 1).
+        lease_seconds: Job lease duration (crash-detection horizon).
+        poll_seconds: Coordinator/worker poll interval.
+        spawn_workers: Spawn local daemons on demand.  With ``False`` the
+            coordinator only waits on externally started workers
+            (``python -m repro.runner serve``) — unless none are alive, in
+            which case it drains the queue inline so progress is always
+            guaranteed.
+        wait_timeout_seconds: Hard cap on one :meth:`drain` call.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        queue: Optional[JobQueue] = None,
+        num_workers: Optional[int] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = 0.02,
+        spawn_workers: bool = True,
+        wait_timeout_seconds: float = DEFAULT_WAIT_TIMEOUT_SECONDS,
+        use_disk_cache: bool = True,
+    ) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        if num_workers is None:
+            num_workers = int(os.environ.get(SERVICE_WORKERS_ENV, "0") or 0) or 1
+        self.cache_dir = str(cache_dir)
+        self.num_workers = max(1, num_workers)
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.spawn_workers = spawn_workers
+        self.wait_timeout_seconds = wait_timeout_seconds
+        self.use_disk_cache = use_disk_cache
+        if queue is None:
+            queue_dir = os.environ.get(SERVICE_QUEUE_DIR_ENV, "").strip() or str(
+                Path(self.cache_dir) / "queue"
+            )
+            queue = FileQueue(queue_dir) if spawn_workers else InProcessQueue()
+        self.queue = queue
+        self._processes: List[Any] = []
+        self._spawn_broken = False
+        self._coordinator_id = f"coordinator-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(self, jobs: Sequence[Job]) -> List[str]:
+        """Register ``jobs`` (idempotent per job id); the registered ids."""
+        for job in jobs:
+            self.queue.submit(job)
+        return [job.job_id for job in jobs]
+
+    def _register_tracking_freshness(self, jobs: Sequence[Job]) -> set:
+        """Register ``jobs``; the ids whose work this batch is causing.
+
+        A job is *fresh* unless its done record predates this registration —
+        stale completions are reported but excluded from folded accounting
+        (see :class:`TaskOutcome`).  A job found pending/leased (another
+        coordinator registered it, or a crashed run left it behind) counts
+        as fresh: it executes during this drain.
+        """
+        fresh = set()
+        for job in jobs:
+            if self.queue.submit(job):
+                fresh.add(job.job_id)
+            else:
+                status = self.queue.status(job.job_id)
+                if status is not None and status.state != DONE:
+                    fresh.add(job.job_id)
+        return fresh
+
+    def status(self, job_id: str):
+        """Status polling passthrough (see :meth:`JobQueue.status`)."""
+        return self.queue.status(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        """Queue-wide ``{state: count}`` (status polling)."""
+        return self.queue.counts()
+
+    # -- worker management -------------------------------------------------------------
+
+    @property
+    def _stop_file(self) -> Optional[str]:
+        if isinstance(self.queue, FileQueue):
+            return str(self.queue.directory / "stop")
+        return None
+
+    def _live_workers(self) -> int:
+        self._processes = [p for p in self._processes if p.is_alive()]
+        return len(self._processes)
+
+    def _ensure_workers(self) -> None:
+        """Keep ``num_workers`` daemons alive (FileQueue backends only)."""
+        if (
+            not self.spawn_workers
+            or self._spawn_broken
+            or not isinstance(self.queue, FileQueue)
+        ):
+            return
+        stop_file = self._stop_file
+        if stop_file is not None and os.path.exists(stop_file):
+            try:
+                os.unlink(stop_file)
+            except OSError:
+                pass
+        self._live_workers()
+        while len(self._processes) < self.num_workers:
+            index = len(self._processes)
+            try:
+                import multiprocessing
+
+                process = multiprocessing.get_context().Process(
+                    target=_spawned_worker_main,
+                    kwargs=dict(
+                        queue_dir=str(self.queue.directory),
+                        cache_dir=self.cache_dir,
+                        worker_id=f"{self._coordinator_id}-w{index}",
+                        lease_seconds=self.lease_seconds,
+                        poll_seconds=self.poll_seconds,
+                        idle_exit_seconds=60.0,
+                        stop_file=stop_file or "",
+                    ),
+                    daemon=True,
+                )
+                process.start()
+            except (OSError, PermissionError, NotImplementedError, ImportError) as error:
+                self._spawn_broken = True
+                warnings.warn(
+                    f"service worker spawn unavailable ({error}); "
+                    "draining the queue in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                break
+            self._processes.append(process)
+
+    def stop(self) -> None:
+        """Stop spawned daemons (externally started workers are untouched)."""
+        stop_file = self._stop_file
+        if stop_file is not None and self._processes:
+            try:
+                with open(stop_file, "w", encoding="utf-8") as handle:
+                    handle.write("stop\n")
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._processes = []
+        if stop_file is not None and os.path.exists(stop_file):
+            try:
+                os.unlink(stop_file)
+            except OSError:
+                pass
+
+    # -- draining ----------------------------------------------------------------------
+
+    def _outcome_from_status(self, status, fresh: bool = True) -> TaskOutcome:
+        result = status.result or {}
+        return TaskOutcome(
+            job_id=status.job_id,
+            kind=result.get("kind", status.job_id.split("-", 1)[0]),
+            worker=status.worker,
+            attempts=status.attempts,
+            runtime_seconds=float(result.get("runtime_seconds", 0.0)),
+            replays=int(result.get("replays", 0)),
+            counters=dict(result.get("counters", {})),
+            ok=bool(result.get("ok", False)),
+            error=result.get("error"),
+            fresh=fresh,
+        )
+
+    def drain(
+        self, job_ids: Sequence[str], fresh_ids: Optional[set] = None
+    ) -> ServiceReport:
+        """Wait until every job in ``job_ids`` is done; per-task accounting.
+
+        Spawns/replenishes worker daemons when configured to, sweeps
+        expired leases of crashed workers while waiting, and — whenever no
+        daemon is alive (spawning disabled, impossible, or all workers
+        exited) — claims and executes jobs inline so the batch always
+        completes.  Raises on per-job failures and on timeout.
+        """
+        start = time.perf_counter()
+        deadline = start + self.wait_timeout_seconds
+        pending = set(job_ids)
+        outcomes: Dict[str, TaskOutcome] = {}
+        while pending:
+            progressed = False
+            for job_id in list(pending):
+                status = self.queue.status(job_id)
+                if status is not None and status.state == DONE:
+                    outcomes[job_id] = self._outcome_from_status(
+                        status, fresh=fresh_ids is None or job_id in fresh_ids
+                    )
+                    pending.discard(job_id)
+                    progressed = True
+            if not pending:
+                break
+            # Workers are only (re)spawned once outstanding work is known to
+            # exist, so a warm batch (every job already done) costs zero forks.
+            self._ensure_workers()
+            self.queue.requeue_expired()
+            if self._live_workers() == 0:
+                job = self.queue.claim(self._coordinator_id, self.lease_seconds)
+                if job is not None:
+                    try:
+                        result = execute_job(job, self.cache_dir, self.use_disk_cache)
+                    except Exception as error:
+                        result = {"ok": False, "kind": job.kind, "error": repr(error)}
+                    self.queue.complete(job.job_id, self._coordinator_id, result)
+                    progressed = True
+            if not progressed:
+                if time.perf_counter() > deadline:
+                    raise RuntimeError(
+                        f"service drain timed out after {self.wait_timeout_seconds}s "
+                        f"with {len(pending)} job(s) outstanding; queue counts: "
+                        f"{self.counts()}"
+                    )
+                time.sleep(self.poll_seconds)
+        report = ServiceReport(
+            outcomes=outcomes, elapsed_seconds=time.perf_counter() - start
+        )
+        report.raise_for_errors()
+        return report
+
+    def run(self, jobs: Sequence[Job]) -> ServiceReport:
+        """Register ``jobs`` and drain them (the one-call convenience)."""
+        fresh = self._register_tracking_freshness(jobs)
+        return self.drain([job.job_id for job in jobs], fresh_ids=fresh)
+
+
+class DistributedBackend:
+    """The ``REPRO_RUNNER_BACKEND=service`` adapter for :class:`ExperimentRunner`.
+
+    Translates the runner's two batch shapes into service jobs and folds
+    the per-task accounting back into the requesting runner:
+
+    * :meth:`run_replays` — the missing replay keys of a
+      ``run_leaves``/``run_configs`` batch (and, through them, every
+      scenario timeline the :class:`~repro.scenarios.engine.ScenarioEngine`
+      lowers) become one replay job per distinct key.
+    * :meth:`run_plan_cells` — an :class:`ExperimentPlan`'s cells become
+      cell jobs; after the drain the caller re-executes the plan serially
+      over the warm cache, which is what makes service results
+      bit-identical to serial ones.
+    """
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.service = service
+
+    def _fold(self, runner, report: ServiceReport) -> None:
+        """Fold a drained batch's accounting into the requesting runner.
+
+        Only *fresh* outcomes count (see :class:`TaskOutcome`): a stale done
+        record describes work a previous batch already folded.
+        """
+        runner.replays += report.replays
+        for outcome in report.outcomes.values():
+            if outcome.fresh and outcome.counters:
+                runner.disk_cache.absorb_counters(outcome.counters)
+        runner.service_reports.append(report)
+
+    def run_replays(
+        self,
+        runner,
+        jobs: Sequence[Tuple[ApplicationProfile, SimulationConfig, str]],
+    ) -> ServiceReport:
+        """Execute one replay job per distinct replay key in ``jobs``.
+
+        The caller only hands over cache *misses*, so a job whose done
+        record outlived its measurement (the tier was pruned after the job
+        completed) is re-registered via :meth:`JobQueue.forget` instead of
+        being served a stale completion.
+        """
+        built = [replay_job(profile, config, key) for profile, config, key in jobs]
+        for job, (_, _, key) in zip(built, jobs):
+            status = self.service.status(job.job_id)
+            if (
+                status is not None
+                and status.state == DONE
+                and not runner.disk_cache.measurement_path_for(key).exists()
+            ):
+                self.service.queue.forget(job.job_id)
+        report = self.service.run(built)
+        self._fold(runner, report)
+        return report
+
+    def run_plan_cells(self, runner, plan: ExperimentPlan) -> ServiceReport:
+        """Execute every cell of ``plan`` as a service job."""
+        energies = (
+            runner.energy_model.energies if runner.energy_model is not None else None
+        )
+        report = self.service.run(
+            [cell_job(cell, plan.spec, energies) for cell in plan.cells]
+        )
+        self._fold(runner, report)
+        return report
+
+
+# -- the ``serve`` CLI -----------------------------------------------------------------
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.runner serve`` (one worker daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner serve",
+        description=(
+            "Run one work-stealing worker daemon draining a job queue into "
+            "the shared content-addressed cache."
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help=(
+            f"queue directory (default: ${SERVICE_QUEUE_DIR_ENV} or "
+            f"<cache-dir>/queue)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"shared cache directory (default: ${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument("--worker-id", default=None, help="stable worker name")
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help="job lease duration (crash-detection horizon)",
+    )
+    parser.add_argument(
+        "--poll-seconds", type=float, default=0.05, help="queue poll interval"
+    )
+    parser.add_argument(
+        "--idle-exit-seconds",
+        type=float,
+        default=None,
+        help="exit after this long without work (default: serve forever)",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit as soon as the queue has nothing left to claim",
+    )
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+    queue_dir = (
+        args.queue_dir
+        or os.environ.get(SERVICE_QUEUE_DIR_ENV, "").strip()
+        or str(Path(cache_dir) / "queue")
+    )
+    queue = FileQueue(queue_dir)
+    executed = worker_loop(
+        queue,
+        cache_dir,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        idle_exit_seconds=args.idle_exit_seconds,
+        stop_file=str(Path(queue_dir) / "stop"),
+        drain_and_exit=args.drain,
+    )
+    print(f"worker exiting: executed {executed} job(s); queue counts {queue.counts()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(serve_main())

@@ -1,0 +1,238 @@
+"""Tests for the job-queue protocol behind the distributed experiment service.
+
+Both shipped backends (:class:`InProcessQueue`, :class:`FileQueue`) must
+satisfy the same contract — submit idempotency per job id, atomic exclusive
+claims, heartbeat-gated lease expiry, exactly-once requeue of crashed
+workers, done-record precedence over a stale lease, and ``forget`` for
+re-registering work whose cached result was pruned.  The protocol tests are
+parameterized over both so a future Redis/HTTP backend can join the same
+matrix unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner.queue import (
+    DONE,
+    LEASED,
+    PENDING,
+    FileQueue,
+    InProcessQueue,
+    Job,
+)
+
+
+@pytest.fixture(params=["in-process", "file"])
+def queue(request, tmp_path):
+    if request.param == "in-process":
+        return InProcessQueue()
+    return FileQueue(tmp_path / "queue")
+
+
+def job(job_id: str = "replay-abc123", kind: str = "replay") -> Job:
+    return Job(job_id=job_id, kind=kind, payload={"replay_key": "abc123"})
+
+
+class TestSubmitIdempotency:
+    def test_first_submit_registers(self, queue):
+        assert queue.submit(job()) is True
+        status = queue.status("replay-abc123")
+        assert status is not None and status.state == PENDING
+        assert status.attempts == 0
+
+    def test_resubmit_is_noop(self, queue):
+        queue.submit(job())
+        assert queue.submit(job()) is False
+        assert queue.counts()[PENDING] == 1
+
+    def test_resubmit_while_leased_is_noop(self, queue):
+        queue.submit(job())
+        assert queue.claim("w1") is not None
+        assert queue.submit(job()) is False
+        assert queue.counts() == {PENDING: 0, LEASED: 1, DONE: 0}
+
+    def test_resubmit_after_done_is_noop(self, queue):
+        queue.submit(job())
+        claimed = queue.claim("w1")
+        queue.complete(claimed.job_id, "w1", {"ok": True})
+        assert queue.submit(job()) is False
+        assert queue.counts()[DONE] == 1
+
+    def test_unknown_job_has_no_status(self, queue):
+        assert queue.status("replay-unknown") is None
+
+
+class TestClaim:
+    def test_claim_returns_the_job_payload(self, queue):
+        queue.submit(job())
+        claimed = queue.claim("w1")
+        assert claimed == job()
+
+    def test_claim_is_exclusive(self, queue):
+        queue.submit(job())
+        assert queue.claim("w1") is not None
+        assert queue.claim("w2") is None
+
+    def test_each_job_claimed_once_across_workers(self, queue):
+        ids = [f"replay-{index:02d}" for index in range(8)]
+        for job_id in ids:
+            queue.submit(job(job_id))
+        claims = {}
+        for worker in ("w1", "w2", "w3"):
+            while True:
+                claimed = queue.claim(worker)
+                if claimed is None:
+                    break
+                assert claimed.job_id not in claims, "double claim"
+                claims[claimed.job_id] = worker
+        assert sorted(claims) == ids
+
+    def test_claimed_job_is_leased_to_its_worker(self, queue):
+        queue.submit(job())
+        queue.claim("w1")
+        status = queue.status("replay-abc123")
+        assert status.state == LEASED
+        assert status.worker == "w1"
+
+    def test_claim_empty_queue(self, queue):
+        assert queue.claim("w1") is None
+
+
+class TestHeartbeatAndComplete:
+    def test_heartbeat_held_lease(self, queue):
+        queue.submit(job())
+        queue.claim("w1")
+        assert queue.heartbeat("replay-abc123", "w1") is True
+
+    def test_heartbeat_wrong_worker_rejected(self, queue):
+        queue.submit(job())
+        queue.claim("w1")
+        assert queue.heartbeat("replay-abc123", "w2") is False
+
+    def test_heartbeat_unclaimed_rejected(self, queue):
+        queue.submit(job())
+        assert queue.heartbeat("replay-abc123", "w1") is False
+
+    def test_complete_records_result(self, queue):
+        queue.submit(job())
+        queue.claim("w1")
+        queue.complete("replay-abc123", "w1", {"ok": True, "replays": 1})
+        status = queue.status("replay-abc123")
+        assert status.state == DONE
+        assert status.worker == "w1"
+        assert status.result == {"ok": True, "replays": 1}
+        assert queue.result("replay-abc123") == {"ok": True, "replays": 1}
+        assert queue.counts() == {PENDING: 0, LEASED: 0, DONE: 1}
+
+    def test_result_of_unfinished_job_is_none(self, queue):
+        queue.submit(job())
+        assert queue.result("replay-abc123") is None
+
+
+class TestRequeueExpired:
+    def test_live_lease_not_requeued(self, queue):
+        queue.submit(job())
+        queue.claim("w1", lease_seconds=60.0)
+        assert queue.requeue_expired() == []
+
+    def test_expired_lease_requeued_exactly_once(self, queue):
+        queue.submit(job())
+        queue.claim("w1", lease_seconds=0.0)
+        time.sleep(0.05)
+        assert queue.requeue_expired() == ["replay-abc123"]
+        assert queue.requeue_expired() == []
+        status = queue.status("replay-abc123")
+        assert status.state == PENDING
+        assert status.attempts == 1
+
+    def test_requeued_job_claimable_by_another_worker(self, queue):
+        queue.submit(job())
+        queue.claim("w1", lease_seconds=0.0)
+        time.sleep(0.05)
+        queue.requeue_expired()
+        claimed = queue.claim("w2")
+        assert claimed == job()
+        assert queue.status("replay-abc123").attempts == 1
+
+    def test_heartbeat_defers_expiry(self, queue):
+        queue.submit(job())
+        queue.claim("w1", lease_seconds=0.2)
+        time.sleep(0.15)
+        assert queue.heartbeat("replay-abc123", "w1") is True
+        assert queue.requeue_expired() == []
+
+
+class TestForget:
+    def test_forget_done_job_allows_resubmit(self, queue):
+        queue.submit(job())
+        queue.claim("w1")
+        queue.complete("replay-abc123", "w1", {"ok": True})
+        assert queue.forget("replay-abc123") is True
+        assert queue.status("replay-abc123") is None
+        assert queue.submit(job()) is True
+
+    def test_forget_unknown_job(self, queue):
+        assert queue.forget("replay-unknown") is False
+
+    def test_forget_leaves_pending_jobs_alone(self, queue):
+        queue.submit(job())
+        assert queue.forget("replay-abc123") is False
+        assert queue.status("replay-abc123").state == PENDING
+
+
+class TestFileQueueCrashSemantics:
+    """FileQueue-specific guarantees the crash/resume story rests on."""
+
+    def test_done_record_published_before_lease_dropped(self, tmp_path):
+        # complete() must never leave a window where the job is in neither
+        # state; the done file exists before the lease is unlinked, so a
+        # crash in between leaves a stale lease the sweeper discards.
+        queue = FileQueue(tmp_path / "queue")
+        queue.submit(job())
+        queue.claim("w1", lease_seconds=0.0)
+        queue.complete("replay-abc123", "w1", {"ok": True})
+        # Simulate the crash window: restore the stale lease alongside done.
+        stale = queue._leased_path("replay-abc123")
+        stale.write_text(json.dumps({"job": job().to_jsonable(), "worker": "w1"}))
+        old = time.time() - 3600.0
+        os.utime(stale, (old, old))
+        assert queue.requeue_expired() == []  # done record wins, no retry
+        assert not stale.exists()
+        assert queue.status("replay-abc123").state == DONE
+
+    def test_claim_refreshes_heartbeat_of_old_pending_file(self, tmp_path):
+        # The pending->leased rename preserves mtime; claim must touch the
+        # lease or a long-pending job would look instantly expired.
+        queue = FileQueue(tmp_path / "queue")
+        queue.submit(job())
+        pending = queue._pending_path("replay-abc123")
+        old = time.time() - 3600.0
+        os.utime(pending, (old, old))
+        queue.claim("w1", lease_seconds=60.0)
+        assert queue.requeue_expired() == []
+
+    def test_unreadable_pending_record_surfaces_as_error(self, tmp_path):
+        queue = FileQueue(tmp_path / "queue")
+        queue.submit(job())
+        queue._pending_path("replay-abc123").write_text("{not json")
+        assert queue.claim("w1") is None
+        status = queue.status("replay-abc123")
+        assert status.state == DONE
+        assert status.result.get("error")
+
+    def test_two_queue_objects_share_one_directory(self, tmp_path):
+        # The whole point of the filesystem backend: independent processes
+        # (here: two queue instances) coordinate purely through the files.
+        a = FileQueue(tmp_path / "queue")
+        b = FileQueue(tmp_path / "queue")
+        a.submit(job())
+        claimed = b.claim("w-b")
+        assert claimed == job()
+        b.complete(claimed.job_id, "w-b", {"ok": True})
+        assert a.status("replay-abc123").state == DONE
+        assert a.counts()[DONE] == 1
