@@ -29,6 +29,7 @@ either way so the measured speedup stays representative.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import os
@@ -36,6 +37,7 @@ import statistics
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 from repro.runner import ExperimentRunner
 from repro.scenarios import ContentionModel
@@ -322,6 +324,18 @@ def main(argv=None) -> int:
         default=None,
         help="sleep-separated sampling bursts the repeats are spread over",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="BENCH_trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run the benchmark under telemetry, writing a span trace to DIR "
+            "(default BENCH_trace) and attaching the per-stage time "
+            "breakdown to the JSON report"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.points < 64:
@@ -331,43 +345,67 @@ def main(argv=None) -> int:
     fidelity = SMOKE_FIDELITY if args.smoke else FAST_FIDELITY
     output = args.output if args.output is not None else f"BENCH_{args.benchmark}.json"
 
-    if args.benchmark == "runner":
-        repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 15)
-        rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 3)
-        leaves = args.leaves if args.leaves is not None else (6 if args.smoke else 16)
-        report = {
-            "benchmark": "runner",
-            "smoke": args.smoke,
-            "repeats": repeats,
-            "rounds": rounds,
-            "cold_plan_throughput": benchmark_runner_service(
-                fidelity, leaves, args.workers, repeats, rounds
-            ),
-        }
+    trace_dir = Path(args.trace) if args.trace else None
+    if trace_dir is not None:
+        from repro.telemetry import Telemetry
+
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        # A re-run must not merge with a stale trace of the previous one.
+        for stale in trace_dir.glob("events-*.jsonl"):
+            stale.unlink()
+        trace_context = Telemetry(directory=trace_dir, enabled=True)
     else:
-        repeats = args.repeats if args.repeats is not None else (5 if args.smoke else 60)
-        rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 6)
-        if not have_numpy():
-            print(
-                "FAIL: numpy is unavailable — the vectorized path under test "
-                "cannot run (scalar fallback only)",
-                file=sys.stderr,
-            )
-            return 1
-        with tempfile.TemporaryDirectory(prefix="repro-bench-scoring-") as cache_dir:
-            runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+        trace_context = contextlib.nullcontext()
+
+    with trace_context:
+        if args.benchmark == "runner":
+            repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 15)
+            rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 3)
+            leaves = args.leaves if args.leaves is not None else (6 if args.smoke else 16)
             report = {
-                "benchmark": "scoring",
+                "benchmark": "runner",
                 "smoke": args.smoke,
                 "repeats": repeats,
                 "rounds": rounds,
-                "batch_scoring": benchmark_batch_scoring(
-                    runner, fidelity, args.points, repeats, rounds
-                ),
-                "contention_solve": benchmark_contention_solve(
-                    runner, fidelity, repeats, rounds
+                "cold_plan_throughput": benchmark_runner_service(
+                    fidelity, leaves, args.workers, repeats, rounds
                 ),
             }
+        else:
+            repeats = args.repeats if args.repeats is not None else (5 if args.smoke else 60)
+            rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 6)
+            if not have_numpy():
+                print(
+                    "FAIL: numpy is unavailable — the vectorized path under test "
+                    "cannot run (scalar fallback only)",
+                    file=sys.stderr,
+                )
+                return 1
+            with tempfile.TemporaryDirectory(prefix="repro-bench-scoring-") as cache_dir:
+                runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+                report = {
+                    "benchmark": "scoring",
+                    "smoke": args.smoke,
+                    "repeats": repeats,
+                    "rounds": rounds,
+                    "batch_scoring": benchmark_batch_scoring(
+                        runner, fidelity, args.points, repeats, rounds
+                    ),
+                    "contention_solve": benchmark_contention_solve(
+                        runner, fidelity, repeats, rounds
+                    ),
+                }
+
+    if trace_dir is not None:
+        from repro.telemetry.report import summarize
+
+        trace_summary = summarize(trace_dir)
+        report["trace"] = {
+            "directory": str(trace_dir),
+            "stages": trace_summary["stages"],
+            "cache": trace_summary["cache"],
+            "histograms": trace_summary["histograms"],
+        }
 
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)

@@ -30,7 +30,7 @@ once older than an age threshold (younger ones may be in-flight writes).
 
 The module doubles as a maintenance CLI::
 
-    python -m repro.runner.cache stats
+    python -m repro.runner.cache stats [--json]
     python -m repro.runner.cache prune [--max-bytes N] [--tier stats|measurements|scenarios]
 
 ``prune --max-bytes`` applies an LRU-by-mtime size cap instead of deleting
@@ -52,6 +52,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.energy.model import EnergyBreakdown
 from repro.sim.performance_model import ReplayMeasurement
 from repro.sim.stats import SimulationStats
+from repro.telemetry import telemetry
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -80,10 +81,17 @@ def stats_from_jsonable(payload: Dict) -> SimulationStats:
 
 
 class _JsonTier:
-    """One directory of content-addressed JSON entries (sharded by key prefix)."""
+    """One directory of content-addressed JSON entries (sharded by key prefix).
 
-    def __init__(self, directory: Path) -> None:
+    ``name`` labels the tier in live telemetry: every load/store publishes
+    ``cache.<name>.{hits,misses,stores,bytes_read,bytes_written}`` counters
+    when telemetry is enabled (the plain ``hits``/``misses``/``stores``
+    attributes stay authoritative either way).
+    """
+
+    def __init__(self, directory: Path, name: str = "") -> None:
         self.directory = directory
+        self.name = name or directory.name
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -96,16 +104,27 @@ class _JsonTier:
         """The JSON payload stored under ``key``, or ``None`` on a miss."""
         try:
             with self.path_for(key).open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                text = handle.read()
+            payload = json.loads(text)
         except FileNotFoundError:
             self.misses += 1
+            tel = telemetry()
+            if tel.enabled:
+                tel.count(f"cache.{self.name}.misses")
             return None
         except (OSError, ValueError):
             # A truncated or unreadable entry is treated as a miss; the
             # fresh result will overwrite it.
             self.misses += 1
+            tel = telemetry()
+            if tel.enabled:
+                tel.count(f"cache.{self.name}.misses")
             return None
         self.hits += 1
+        tel = telemetry()
+        if tel.enabled:
+            tel.count(f"cache.{self.name}.hits")
+            tel.count(f"cache.{self.name}.bytes_read", len(text))
         return payload
 
     def store_payload(self, key: str, payload: Dict) -> None:
@@ -129,12 +148,13 @@ class _JsonTier:
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=TEMP_PREFIX, suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -143,6 +163,10 @@ class _JsonTier:
                 pass
             raise
         self.stores += 1
+        tel = telemetry()
+        if tel.enabled:
+            tel.count(f"cache.{self.name}.stores")
+            tel.count(f"cache.{self.name}.bytes_written", len(text))
 
     def entries(self) -> Iterator[Path]:
         """All committed entries (atomic-write temp files are not entries)."""
@@ -176,9 +200,13 @@ class ResultCache:
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.directory = Path(directory)
-        self._stats = _JsonTier(self.directory / self.STATS_TIER)
-        self._measurements = _JsonTier(self.directory / self.MEASUREMENTS_TIER)
-        self._scenarios = _JsonTier(self.directory / self.SCENARIOS_TIER)
+        self._stats = _JsonTier(self.directory / self.STATS_TIER, self.STATS_TIER)
+        self._measurements = _JsonTier(
+            self.directory / self.MEASUREMENTS_TIER, self.MEASUREMENTS_TIER
+        )
+        self._scenarios = _JsonTier(
+            self.directory / self.SCENARIOS_TIER, self.SCENARIOS_TIER
+        )
 
     # -- stats tier (scored results, keyed by score_key) ------------------------------
 
@@ -515,7 +543,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"cache directory (default: ${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})",
     )
     commands = parser.add_subparsers(dest="command", required=True)
-    commands.add_parser("stats", help="print per-tier entry counts and sizes")
+    stats = commands.add_parser("stats", help="print per-tier entry counts and sizes")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
     prune = commands.add_parser("prune", help="delete cache entries")
     prune.add_argument(
         "--max-bytes",
@@ -538,6 +571,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = ResultCache(args.cache_dir)
     if args.command == "stats":
         report = cache.summary()
+        if args.json:
+            payload = {
+                "directory": str(cache.directory),
+                "tiers": report,
+                "measurement_modes": cache.measurement_mode_counts(),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print(f"cache {cache.directory}")
         for name, row in report.items():
             print(f"  {name:<18s} {row['entries']:>8d} entries  {row['bytes']:>12d} bytes")

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.telemetry import telemetry
+
 #: Job states a queue reports.
 PENDING = "pending"
 LEASED = "leased"
@@ -48,6 +50,20 @@ DONE = "done"
 #: Default lease duration: far longer than any leaf replay, short enough
 #: that a crashed worker's jobs are retried promptly.
 DEFAULT_LEASE_SECONDS = 300.0
+
+
+def _job_event(name: str, job_id: str, **attrs: Any) -> None:
+    """Publish one job-lifecycle telemetry event (no-op when disabled).
+
+    Emitted by the queue implementations themselves — not their callers —
+    so every consumer (worker daemons, inline coordinator drains, external
+    ``serve`` processes) gets lifecycle coverage for free, and the report
+    can stitch submit→claim→complete latencies across processes by
+    ``job_id`` using the events' wall-clock timestamps.
+    """
+    tel = telemetry()
+    if tel.enabled:
+        tel.event(name, job_id=job_id, **attrs)
 
 
 @dataclass(frozen=True)
@@ -165,6 +181,7 @@ class InProcessQueue(JobQueue):
         self._pending[job.job_id] = job
         self._order.append(job.job_id)
         self._attempts.setdefault(job.job_id, 0)
+        _job_event("job.submit", job.job_id, kind=job.kind)
         return True
 
     def claim(
@@ -183,6 +200,7 @@ class InProcessQueue(JobQueue):
                 "lease_seconds": lease_seconds,
                 "heartbeat": time.monotonic(),
             }
+            _job_event("job.claim", job_id, worker=worker)
             return job
         return None
 
@@ -191,6 +209,7 @@ class InProcessQueue(JobQueue):
         if lease is None or lease["worker"] != worker:
             return False
         lease["heartbeat"] = time.monotonic()
+        _job_event("job.heartbeat", job_id, worker=worker)
         return True
 
     def complete(self, job_id: str, worker: str, result: Dict[str, Any]) -> None:
@@ -201,6 +220,7 @@ class InProcessQueue(JobQueue):
             "result": result,
             "job": lease["job"].to_jsonable() if lease else None,
         }
+        _job_event("job.complete", job_id, worker=worker)
 
     def requeue_expired(self) -> List[str]:
         now = time.monotonic()
@@ -212,6 +232,8 @@ class InProcessQueue(JobQueue):
                 self._pending[job_id] = lease["job"]
                 self._order.append(job_id)
                 requeued.append(job_id)
+                _job_event("job.lease_expired", job_id, worker=lease["worker"])
+                telemetry().count("queue.lease_expiries")
         return requeued
 
     def status(self, job_id: str) -> Optional[JobStatus]:
@@ -328,6 +350,7 @@ class FileQueue(JobQueue):
             self._pending_path(job.job_id),
             {"job": job.to_jsonable(), "attempts": 0},
         )
+        _job_event("job.submit", job.job_id, kind=job.kind)
         return True
 
     def claim(
@@ -365,6 +388,7 @@ class FileQueue(JobQueue):
                 # it as done-with-error so the coordinator does not hang.
                 self.complete(job_id, worker, {"error": "unreadable job record"})
                 continue
+            _job_event("job.claim", job_id, worker=worker)
             return Job.from_jsonable(job_data)
         return None
 
@@ -377,6 +401,7 @@ class FileQueue(JobQueue):
             os.utime(leased)
         except OSError:
             return False
+        _job_event("job.heartbeat", job_id, worker=worker)
         return True
 
     def complete(self, job_id: str, worker: str, result: Dict[str, Any]) -> None:
@@ -395,6 +420,7 @@ class FileQueue(JobQueue):
             os.unlink(self._leased_path(job_id))
         except OSError:
             pass
+        _job_event("job.complete", job_id, worker=worker)
 
     def requeue_expired(self) -> List[str]:
         leased_dir = self.directory / self.LEASED_DIR
@@ -444,6 +470,8 @@ class FileQueue(JobQueue):
             except OSError:
                 pass
             requeued.append(job_id)
+            _job_event("job.lease_expired", job_id, worker=record.get("worker"))
+            telemetry().count("queue.lease_expiries")
         return requeued
 
     def status(self, job_id: str) -> Optional[JobStatus]:

@@ -52,6 +52,7 @@ from repro.runner.spec import ExperimentCell, ExperimentPlan, ExperimentSpec, Ru
 from repro.sim.performance_model import PerformanceModel, ReplayMeasurement
 from repro.sim.simulator import GPUSimulator, SimulationConfig
 from repro.sim.stats import SimulationStats
+from repro.telemetry import telemetry
 from repro.workloads.applications import ApplicationProfile, get_application
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -291,7 +292,10 @@ class ExperimentRunner:
             return 0
         if max_bytes < 0:
             return 0
-        return self.disk_cache.prune(max_bytes=max_bytes)
+        with telemetry().span("runner.auto_prune", max_bytes=max_bytes) as span:
+            removed = self.disk_cache.prune(max_bytes=max_bytes)
+            span.set(removed=removed)
+        return removed
 
     @contextmanager
     def cache_bypassed(self) -> Iterator[None]:
@@ -311,7 +315,13 @@ class ExperimentRunner:
             self.memory_hits += 1
             return cached
         if self.use_disk_cache:
-            loaded = self.disk_cache.load(key)
+            tel = telemetry()
+            if tel.enabled:
+                start = time.perf_counter()
+                loaded = self.disk_cache.load(key)
+                tel.observe("runner.cache_lookup_seconds", time.perf_counter() - start)
+            else:
+                loaded = self.disk_cache.load(key)
             if loaded is not None:
                 self._memory[key] = loaded
                 return loaded
@@ -330,7 +340,13 @@ class ExperimentRunner:
             self.measurement_memory_hits += 1
             return cached
         if self.use_disk_cache:
-            loaded = self.disk_cache.load_measurement(replay_key)
+            tel = telemetry()
+            if tel.enabled:
+                start = time.perf_counter()
+                loaded = self.disk_cache.load_measurement(replay_key)
+                tel.observe("runner.cache_lookup_seconds", time.perf_counter() - start)
+            else:
+                loaded = self.disk_cache.load_measurement(replay_key)
             if loaded is not None:
                 self._measurement_memory[replay_key] = loaded
                 return loaded
@@ -405,7 +421,7 @@ class ExperimentRunner:
         """Phase 1: the measurement for ``replay_key``, replaying only on a miss."""
         measurement = self._lookup_measurement(replay_key)
         if measurement is None:
-            measurement = GPUSimulator(config).replay(profile)
+            measurement = _traced_replay(profile, config, replay_key)
             self.replays += 1
             self._store_measurement(replay_key, measurement, mode=config.replay_mode)
         return measurement
@@ -512,7 +528,13 @@ class ExperimentRunner:
         if cached is not None:
             return cached
         measurement = self._obtain_measurement(profile, config, run.replay_key())
-        stats = self._score(profile, config, measurement)
+        tel = telemetry()
+        if tel.enabled:
+            start = time.perf_counter()
+            stats = self._score(profile, config, measurement)
+            tel.observe("runner.score_seconds", time.perf_counter() - start)
+        else:
+            stats = self._score(profile, config, measurement)
         self._store(score_key, stats)
         return stats
 
@@ -545,6 +567,19 @@ class ExperimentRunner:
         serialization.  Replay keys embed the profile, so grouping by key
         never conflates applications.
         """
+        tel = telemetry()
+        if not tel.enabled:
+            return self._run_leaves_impl(leaves, parallel)
+        with tel.span("runner.run_leaves", leaves=len(leaves)) as span:
+            results = self._run_leaves_impl(leaves, parallel, span)
+        return results
+
+    def _run_leaves_impl(
+        self,
+        leaves: Sequence[Tuple[ApplicationProfile, SimulationConfig]],
+        parallel: bool = True,
+        span=None,
+    ) -> List[SimulationStats]:
         runs = [self._run_spec(profile, config) for profile, config in leaves]
         score_keys = [run.score_key() for run in runs]
         results: List[Optional[SimulationStats]] = [None] * len(leaves)
@@ -596,6 +631,8 @@ class ExperimentRunner:
                         still_missing.append(key)
                 missing = still_missing
 
+            if span is not None:
+                span.set(pending=len(pending), replay_misses=len(missing))
             workers = self._effective_workers(len(missing)) if parallel else 1
             computed: Optional[List[ReplayMeasurement]] = None
             if missing and workers > 1:
@@ -615,23 +652,26 @@ class ExperimentRunner:
             # Score each replay group in one batch: same key ⇒ same replay
             # parameters and profile content, so per-config validation is
             # redundant and one vectorized pass covers the whole group.
-            for key, indices in by_replay.items():
-                measurement = measurements[key]
-                if len(indices) == 1:
-                    index = indices[0]
-                    profile, config = leaves[index]
-                    scored = [self._score(profile, config, measurement)]
-                else:
-                    profile = leaves[indices[0]][0]
-                    scored = self._performance_model.score_batch(
-                        profile,
-                        [leaves[index][1] for index in indices],
-                        measurement,
-                        validate=False,
-                    )
-                for index, stats in zip(indices, scored):
-                    self._store(score_keys[index], stats)
-                    results[index] = stats
+            with telemetry().span(
+                "runner.score", groups=len(by_replay), leaves=len(pending)
+            ):
+                for key, indices in by_replay.items():
+                    measurement = measurements[key]
+                    if len(indices) == 1:
+                        index = indices[0]
+                        profile, config = leaves[index]
+                        scored = [self._score(profile, config, measurement)]
+                    else:
+                        profile = leaves[indices[0]][0]
+                        scored = self._performance_model.score_batch(
+                            profile,
+                            [leaves[index][1] for index in indices],
+                            measurement,
+                            validate=False,
+                        )
+                    for index, stats in zip(indices, scored):
+                        self._store(score_keys[index], stats)
+                        results[index] = stats
         return [stats for stats in results if stats is not None]
 
     def score_many(
@@ -657,6 +697,20 @@ class ExperimentRunner:
         if isinstance(plan, ExperimentSpec):
             plan = plan.expand()
         start = time.perf_counter()
+        with telemetry().span(
+            "runner.run_plan", cells=len(plan.cells), backend=self.backend
+        ):
+            results = self._run_plan_cells(plan)
+        self.maybe_auto_prune()
+        return ExperimentResult(
+            plan=plan,
+            results=results,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _run_plan_cells(
+        self, plan: ExperimentPlan
+    ) -> Dict[ExperimentCell, SimulationStats]:
         workers = self._effective_workers(len(plan.cells))
         computed: Optional[List[SimulationStats]] = None
         if self._service_enabled() and plan.cells:
@@ -682,13 +736,7 @@ class ExperimentRunner:
                     self.disk_cache.absorb_counters(counters)
         if computed is None:
             computed = [self._execute_cell(cell, plan.spec) for cell in plan.cells]
-        results = dict(zip(plan.cells, computed))
-        self.maybe_auto_prune()
-        return ExperimentResult(
-            plan=plan,
-            results=results,
-            elapsed_seconds=time.perf_counter() - start,
-        )
+        return dict(zip(plan.cells, computed))
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         """Expand and execute ``spec`` (convenience wrapper for ``run_plan``)."""
@@ -825,7 +873,10 @@ class ExperimentRunner:
         if pool is None:
             return None
         try:
-            return list(pool.map(func, jobs))
+            with telemetry().span(
+                "runner.pool_dispatch", jobs=len(jobs), workers=workers
+            ):
+                return list(pool.map(func, jobs))
         except (
             BrokenProcessPool,
             OSError,
@@ -869,6 +920,24 @@ def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _traced_replay(
+    profile: ApplicationProfile,
+    config: SimulationConfig,
+    replay_key: str = "",
+) -> ReplayMeasurement:
+    """One trace replay under a ``runner.replay`` span (no-op when disabled)."""
+    tel = telemetry()
+    if not tel.enabled:
+        return GPUSimulator(config).replay(profile)
+    with tel.span(
+        "runner.replay",
+        app=profile.name,
+        mode=config.replay_mode,
+        replay_key=replay_key,
+    ):
+        return GPUSimulator(config).replay(profile)
+
+
 def _replay_worker(
     job: Tuple[ApplicationProfile, SimulationConfig]
 ) -> ReplayMeasurement:
@@ -878,7 +947,11 @@ def _replay_worker(
     ships back only the compact measurement.
     """
     profile, config = job
-    return GPUSimulator(config).replay(profile)
+    measurement = _traced_replay(profile, config)
+    # Pool workers may be torn down without running exit handlers; flush
+    # the span before handing the result back.
+    telemetry().flush()
+    return measurement
 
 
 def _cell_worker(
@@ -902,7 +975,11 @@ def _cell_worker(
         backend="local",
     )
     set_active_runner(runner)
-    stats = runner._execute_cell(cell, spec)
+    with telemetry().span(
+        "runner.cell", system=cell.system, app=cell.application
+    ):
+        stats = runner._execute_cell(cell, spec)
+    telemetry().flush()
     return stats, runner.replays, runner.disk_cache.tier_counters()
 
 

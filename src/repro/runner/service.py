@@ -74,7 +74,10 @@ from repro.runner.spec import (
 )
 from repro.runner.runner import BACKEND_ENV
 from repro.sim.simulator import SimulationConfig
+from repro.telemetry import get_logger, telemetry
 from repro.workloads.applications import ApplicationProfile
+
+logger = get_logger(__name__)
 
 #: Environment variable setting the service's worker-daemon count.
 SERVICE_WORKERS_ENV = "REPRO_SERVICE_WORKERS"
@@ -157,28 +160,31 @@ def execute_job(
         use_disk_cache=use_disk_cache,
         backend="local",
     )
-    if job.kind == REPLAY_JOB:
-        profile = codec.decode(ApplicationProfile, job.payload["profile"])
-        config = codec.decode(SimulationConfig, job.payload["config"])
-        runner.measurement_for(profile, config)
-    elif job.kind == CELL_JOB:
-        cell = codec.decode(ExperimentCell, job.payload["cell"])
-        spec = codec.decode(ExperimentSpec, job.payload["spec"])
-        energies_data = job.payload.get("energies")
-        if energies_data is not None:
-            runner = ExperimentRunner(
-                cache_dir=cache_dir,
-                max_workers=0,
-                use_disk_cache=use_disk_cache,
-                energy_model=EnergyModel(
-                    codec.decode(ComponentEnergies, energies_data)
-                ),
-                backend="local",
-            )
-        with using_runner(runner):
-            runner._execute_cell(cell, spec)
-    else:
-        raise ValueError(f"unknown job kind {job.kind!r}")
+    # Spanned here — not in callers — so worker daemons, inline coordinator
+    # drains and external ``serve`` processes all record execution time.
+    with telemetry().span("job.execute", job_id=job.job_id, kind=job.kind):
+        if job.kind == REPLAY_JOB:
+            profile = codec.decode(ApplicationProfile, job.payload["profile"])
+            config = codec.decode(SimulationConfig, job.payload["config"])
+            runner.measurement_for(profile, config)
+        elif job.kind == CELL_JOB:
+            cell = codec.decode(ExperimentCell, job.payload["cell"])
+            spec = codec.decode(ExperimentSpec, job.payload["spec"])
+            energies_data = job.payload.get("energies")
+            if energies_data is not None:
+                runner = ExperimentRunner(
+                    cache_dir=cache_dir,
+                    max_workers=0,
+                    use_disk_cache=use_disk_cache,
+                    energy_model=EnergyModel(
+                        codec.decode(ComponentEnergies, energies_data)
+                    ),
+                    backend="local",
+                )
+            with using_runner(runner):
+                runner._execute_cell(cell, spec)
+        else:
+            raise ValueError(f"unknown job kind {job.kind!r}")
     return {
         "ok": True,
         "kind": job.kind,
@@ -202,9 +208,18 @@ class _LeaseHeartbeat(threading.Thread):
         self._stop = threading.Event()
 
     def run(self) -> None:  # pragma: no cover - timing dependent
-        while not self._stop.wait(self._interval):
-            if not self._queue.heartbeat(self._job_id, self._worker):
-                return
+        try:
+            while not self._stop.wait(self._interval):
+                if not self._queue.heartbeat(self._job_id, self._worker):
+                    return
+        except Exception:
+            # A dying heartbeat thread must not be silent: the lease will
+            # expire mid-execution and the job will run twice.
+            logger.exception(
+                "lease heartbeat for job %s (worker %s) failed",
+                self._job_id,
+                self._worker,
+            )
 
     def stop(self) -> None:
         self._stop.set()
@@ -233,38 +248,52 @@ def worker_loop(
     coordinator re-raises); the daemon itself keeps serving.
     """
     worker = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    tel = telemetry()
     executed = 0
     idle_since = time.monotonic()
-    while True:
-        if stop_file is not None and os.path.exists(stop_file):
-            break
-        queue.requeue_expired()
-        job = queue.claim(worker, lease_seconds)
-        if job is None:
-            if drain_and_exit:
+    try:
+        while True:
+            if stop_file is not None and os.path.exists(stop_file):
                 break
-            if (
-                idle_exit_seconds is not None
-                and time.monotonic() - idle_since > idle_exit_seconds
-            ):
-                break
-            time.sleep(poll_seconds)
-            continue
-        heartbeat = _LeaseHeartbeat(queue, job.job_id, worker, lease_seconds / 3.0)
-        heartbeat.start()
-        try:
-            result = execute_job(job, cache_dir, use_disk_cache)
-        except KeyboardInterrupt:  # pragma: no cover - interactive only
-            heartbeat.stop()
-            queue.complete(job.job_id, worker, {"ok": False, "error": "interrupted"})
-            raise
-        except BaseException as error:
-            result = {"ok": False, "kind": job.kind, "error": repr(error)}
-        finally:
-            heartbeat.stop()
-        queue.complete(job.job_id, worker, result)
-        executed += 1
-        idle_since = time.monotonic()
+            queue.requeue_expired()
+            job = queue.claim(worker, lease_seconds)
+            if job is None:
+                if drain_and_exit:
+                    break
+                if (
+                    idle_exit_seconds is not None
+                    and time.monotonic() - idle_since > idle_exit_seconds
+                ):
+                    break
+                time.sleep(poll_seconds)
+                continue
+            if tel.enabled:
+                tel.observe(
+                    "worker.idle_seconds", time.monotonic() - idle_since
+                )
+            logger.debug("worker %s claimed job %s", worker, job.job_id)
+            heartbeat = _LeaseHeartbeat(queue, job.job_id, worker, lease_seconds / 3.0)
+            heartbeat.start()
+            try:
+                result = execute_job(job, cache_dir, use_disk_cache)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                heartbeat.stop()
+                queue.complete(job.job_id, worker, {"ok": False, "error": "interrupted"})
+                raise
+            except BaseException as error:
+                logger.warning("worker %s: job %s failed: %r", worker, job.job_id, error)
+                result = {"ok": False, "kind": job.kind, "error": repr(error)}
+            finally:
+                heartbeat.stop()
+            queue.complete(job.job_id, worker, result)
+            executed += 1
+            if tel.enabled:
+                tel.count("worker.jobs")
+            idle_since = time.monotonic()
+    finally:
+        # Spawned daemons exit without running atexit handlers reliably;
+        # flush so the trace keeps every job this worker executed.
+        tel.flush()
     return executed
 
 
@@ -547,6 +576,23 @@ class ExperimentService:
         deadline = start + self.wait_timeout_seconds
         pending = set(job_ids)
         outcomes: Dict[str, TaskOutcome] = {}
+        with telemetry().span("service.drain", jobs=len(pending)) as drain_span:
+            self._drain_pending(pending, outcomes, fresh_ids, deadline)
+            drain_span.set(completed=len(outcomes))
+        telemetry().flush()
+        report = ServiceReport(
+            outcomes=outcomes, elapsed_seconds=time.perf_counter() - start
+        )
+        report.raise_for_errors()
+        return report
+
+    def _drain_pending(
+        self,
+        pending: set,
+        outcomes: Dict[str, TaskOutcome],
+        fresh_ids: Optional[set],
+        deadline: float,
+    ) -> None:
         while pending:
             progressed = False
             for job_id in list(pending):
@@ -580,11 +626,6 @@ class ExperimentService:
                         f"{self.counts()}"
                     )
                 time.sleep(self.poll_seconds)
-        report = ServiceReport(
-            outcomes=outcomes, elapsed_seconds=time.perf_counter() - start
-        )
-        report.raise_for_errors()
-        return report
 
     def run(self, jobs: Sequence[Job]) -> ServiceReport:
         """Register ``jobs`` and drain them (the one-call convenience)."""

@@ -41,6 +41,7 @@ from repro.sim.performance_model import (
     shared_bandwidth_demand,
 )
 from repro.sim.stats import SimulationStats
+from repro.telemetry import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.config import GPUConfig
@@ -194,37 +195,47 @@ def solve_phase_contention(
     stats: List[SimulationStats] = list(uncontended)
     iterations = 0
     converged = False
-    for iterations in range(1, model.max_iterations + 1):
-        demands = [shared_bandwidth_demand(entry, gpu) for entry in stats]
-        targets = proportional_pressure_shares(demands)
-        movement = 0.0
-        for index in range(count):
-            for channel in SHARED_CHANNELS:
-                current = shares[index][channel]
-                stepped = current + model.damping * (targets[index][channel] - current)
-                stepped = min(1.0, max(MIN_SHARE, stepped))
-                movement = max(movement, abs(stepped - current))
-                shares[index][channel] = stepped
-        envelopes = tuple(_envelope(shares[index]) for index in range(count))
-        if scorers is not None:
-            stats = [
-                scorer.score_envelope(envelope)
-                for scorer, envelope in zip(scorers, envelopes)
-            ]
-        else:
-            stats = [
-                runner.score_measurement(
-                    profile,
-                    dataclasses.replace(config, envelope=envelope),
-                    measurement,
-                )
-                for (profile, config), envelope, measurement in zip(
-                    leaves, envelopes, measurements
-                )
-            ]
-        if movement < model.tolerance:
-            converged = True
-            break
+    movement = 0.0
+    tel = telemetry()
+    with tel.span("contention.solve", residents=count) as span:
+        for iterations in range(1, model.max_iterations + 1):
+            demands = [shared_bandwidth_demand(entry, gpu) for entry in stats]
+            targets = proportional_pressure_shares(demands)
+            movement = 0.0
+            for index in range(count):
+                for channel in SHARED_CHANNELS:
+                    current = shares[index][channel]
+                    stepped = current + model.damping * (
+                        targets[index][channel] - current
+                    )
+                    stepped = min(1.0, max(MIN_SHARE, stepped))
+                    movement = max(movement, abs(stepped - current))
+                    shares[index][channel] = stepped
+            envelopes = tuple(_envelope(shares[index]) for index in range(count))
+            if scorers is not None:
+                stats = [
+                    scorer.score_envelope(envelope)
+                    for scorer, envelope in zip(scorers, envelopes)
+                ]
+            else:
+                stats = [
+                    runner.score_measurement(
+                        profile,
+                        dataclasses.replace(config, envelope=envelope),
+                        measurement,
+                    )
+                    for (profile, config), envelope, measurement in zip(
+                        leaves, envelopes, measurements
+                    )
+                ]
+            if tel.enabled:
+                tel.observe("contention.residual", movement)
+            if movement < model.tolerance:
+                converged = True
+                break
+        span.set(iterations=iterations, converged=converged)
+    if tel.enabled:
+        tel.observe("contention.iterations", iterations)
     # Persist the converged contended results through the ordinary
     # two-phase cache (their score keys embed the solved envelopes);
     # scoring is pure, so this returns bit-identically what the last

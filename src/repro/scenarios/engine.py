@@ -58,6 +58,7 @@ from repro.scenarios.policy import (
 )
 from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION, ScenarioPhase, ScenarioSpec
 from repro.sim.performance_model import DEFAULT_ENVELOPE, ResourceEnvelope
+from repro.telemetry import telemetry
 from repro.sim.simulator import SimulationConfig
 from repro.sim.stats import SimulationStats
 from repro.systems.fidelity import Fidelity, STANDARD_FIDELITY, get_fidelity
@@ -282,34 +283,42 @@ class ScenarioEngine:
                     f"{self.gpu.num_sms}"
                 )
         profiles = self._profiles(scenario)
-        decisions, morpheus = self._plan(scenario, system, policy, profiles)
+        with telemetry().span(
+            "scenario.plan", system=system, phases=len(scenario.phases)
+        ):
+            decisions, morpheus = self._plan(scenario, system, policy, profiles)
         lowered = []
-        for index, (phase, decision) in enumerate(zip(scenario.phases, decisions)):
-            grants = self._decision_grants(phase, decision)
-            leaves = tuple(
-                LoweredLeaf(
-                    grant=grant,
-                    config=SimulationConfig(
-                        gpu=self.gpu,
-                        morpheus=morpheus if grant.cache_sms > 0 else None,
-                        num_compute_sms=grant.compute_sms,
-                        num_cache_sms=grant.cache_sms,
-                        power_gate_unused=system != "BL",
-                        capacity_scale=self.fidelity.capacity_scale,
-                        trace_accesses=self.fidelity.trace_accesses,
-                        warmup_accesses=self.fidelity.warmup_accesses,
-                        system_name=system,
-                        replay_mode=self.fidelity.mode,
-                        seed=self.seed,
-                    ),
+        with telemetry().span(
+            "scenario.lower", system=system, phases=len(scenario.phases)
+        ):
+            for index, (phase, decision) in enumerate(
+                zip(scenario.phases, decisions)
+            ):
+                grants = self._decision_grants(phase, decision)
+                leaves = tuple(
+                    LoweredLeaf(
+                        grant=grant,
+                        config=SimulationConfig(
+                            gpu=self.gpu,
+                            morpheus=morpheus if grant.cache_sms > 0 else None,
+                            num_compute_sms=grant.compute_sms,
+                            num_cache_sms=grant.cache_sms,
+                            power_gate_unused=system != "BL",
+                            capacity_scale=self.fidelity.capacity_scale,
+                            trace_accesses=self.fidelity.trace_accesses,
+                            warmup_accesses=self.fidelity.warmup_accesses,
+                            system_name=system,
+                            replay_mode=self.fidelity.mode,
+                            seed=self.seed,
+                        ),
+                    )
+                    for grant in grants
                 )
-                for grant in grants
-            )
-            lowered.append(
-                LoweredPhase(
-                    index=index, phase=phase, decision=decision, leaves=leaves
+                lowered.append(
+                    LoweredPhase(
+                        index=index, phase=phase, decision=decision, leaves=leaves
+                    )
                 )
-            )
         return lowered
 
     @staticmethod
@@ -457,6 +466,23 @@ class ScenarioEngine:
                 # A malformed aggregate (e.g. a hand-edited entry) is
                 # recomputed and overwritten rather than trusted.
                 pass
+        with telemetry().span(
+            "scenario.run", system=system, phases=len(scenario.phases)
+        ):
+            result = self._run_cold(scenario, system, policy, run_key, start)
+        runner.maybe_auto_prune()
+        return result
+
+    def _run_cold(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy],
+        run_key: str,
+        start: float,
+    ) -> ScenarioRunResult:
+        """The cold path of :meth:`run`: lower, execute, arbitrate, persist."""
+        runner = self._runner()
         lowered = self.lower(scenario, system, policy)
         profiles = self._profiles(scenario)
 
@@ -482,18 +508,26 @@ class ScenarioEngine:
         solutions: Dict[
             Tuple[Tuple[str, SimulationConfig], ...], PhaseContentionSolution
         ] = {}
-        for phase in lowered:
-            keys = tuple((leaf.application, leaf.config) for leaf in phase.leaves)
-            if len(keys) > 1 and keys not in solutions:
-                solutions[keys] = solve_phase_contention(
-                    runner,
-                    self.gpu,
-                    [(profiles[application], config) for application, config in keys],
-                    [stats_by_leaf[key] for key in keys],
-                    self.contention,
+        with telemetry().span("scenario.arbitrate", system=system) as arbitrate_span:
+            for phase in lowered:
+                keys = tuple(
+                    (leaf.application, leaf.config) for leaf in phase.leaves
                 )
+                if len(keys) > 1 and keys not in solutions:
+                    solutions[keys] = solve_phase_contention(
+                        runner,
+                        self.gpu,
+                        [
+                            (profiles[application], config)
+                            for application, config in keys
+                        ],
+                        [stats_by_leaf[key] for key in keys],
+                        self.contention,
+                    )
+            arbitrate_span.set(corun_sets=len(solutions))
 
         executions = []
+        tel = telemetry()
         for phase in lowered:
             keys = tuple((leaf.application, leaf.config) for leaf in phase.leaves)
             uncontended = [stats_by_leaf[key] for key in keys]
@@ -530,6 +564,17 @@ class ScenarioEngine:
                     compute_cycles=compute_cycles,
                 )
             )
+            if tel.enabled:
+                tel.event(
+                    "scenario.phase",
+                    index=phase.index,
+                    system=system,
+                    residents=len(keys),
+                    corun=len(keys) > 1,
+                    compute_cycles=compute_cycles,
+                    flush_cycles=phase.decision.transition.flush_cycles,
+                    warmup_cycles=phase.decision.transition.warmup_cycles,
+                )
         result = ScenarioRunResult(
             scenario=scenario,
             system=system,
@@ -539,7 +584,6 @@ class ScenarioEngine:
             elapsed_seconds=time.perf_counter() - start,
         )
         runner.store_scenario_payload(run_key, self._result_to_payload(result))
-        runner.maybe_auto_prune()
         return result
 
     # -- scenario-aggregate persistence --------------------------------------------------

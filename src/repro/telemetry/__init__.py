@@ -1,0 +1,42 @@
+"""Observability layer: span tracing, metrics, logging, and run reports.
+
+Off by default; enable with ``REPRO_TELEMETRY=1`` (sink directory from
+``REPRO_TELEMETRY_DIR``, default ``.repro_telemetry``) or scope a block::
+
+    from repro.telemetry import Telemetry
+
+    with Telemetry(directory="trace", enabled=True):
+        runner.run_plan(spec)
+
+Then ``python -m repro.telemetry report trace`` summarizes where the
+wall-clock went.  Telemetry is observational only — it never changes a
+cache key or an emitted stat.
+"""
+
+from .core import (
+    DEFAULT_TELEMETRY_DIR,
+    NULL_SPAN,
+    TELEMETRY_DIR_ENV,
+    TELEMETRY_ENV,
+    TELEMETRY_SCHEMA_VERSION,
+    Span,
+    Telemetry,
+    set_telemetry,
+    telemetry,
+)
+from .log import LOG_LEVEL_ENV, configure, get_logger
+
+__all__ = [
+    "DEFAULT_TELEMETRY_DIR",
+    "LOG_LEVEL_ENV",
+    "NULL_SPAN",
+    "Span",
+    "TELEMETRY_DIR_ENV",
+    "TELEMETRY_ENV",
+    "TELEMETRY_SCHEMA_VERSION",
+    "Telemetry",
+    "configure",
+    "get_logger",
+    "set_telemetry",
+    "telemetry",
+]

@@ -171,3 +171,27 @@ class TestKeySensitivity:
         )
         assert other_energies.replay_key() == base_replay
         assert other_energies.score_key() != base_score
+
+
+class TestTelemetryNeverEntersKeys:
+    """No observability knob may reach a cache key (telemetry inertness)."""
+
+    def test_telemetry_env_does_not_change_keys(self, monkeypatch):
+        base = _keys(BASELINE)
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", "/tmp/somewhere-else")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        assert _keys(BASELINE) == base
+
+    def test_active_telemetry_does_not_change_keys(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        base = _keys(BASELINE)
+        with Telemetry(directory=tmp_path, enabled=True):
+            assert _keys(BASELINE) == base
+
+    def test_no_telemetry_field_in_key_params(self):
+        for params in (BASELINE.replay_params(), BASELINE.score_params()):
+            flat = repr(params).lower()
+            assert "telemetry" not in flat
+            assert "trace_dir" not in flat

@@ -1,0 +1,72 @@
+"""The shared logging configuration and its consumers."""
+
+from __future__ import annotations
+
+import logging
+from unittest import mock
+
+from repro.runner.service import _LeaseHeartbeat
+from repro.telemetry import LOG_LEVEL_ENV, configure, get_logger
+from repro.telemetry.log import ROOT_LOGGER
+
+
+class TestGetLogger:
+    def test_module_name_lands_under_repro(self):
+        logger = get_logger("repro.runner.service")
+        assert logger.name == "repro.runner.service"
+
+    def test_bare_suffix_lands_under_repro(self):
+        logger = get_logger("runner.service")
+        assert logger.name == "repro.runner.service"
+
+    def test_root_name_is_the_root(self):
+        assert get_logger(ROOT_LOGGER).name == ROOT_LOGGER
+
+
+class TestConfigure:
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        root = configure(force=True)
+        assert root.level == logging.WARNING
+
+    def test_env_level_is_honored(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        root = configure(force=True)
+        assert root.level == logging.DEBUG
+        monkeypatch.delenv(LOG_LEVEL_ENV)
+        configure(force=True)
+
+    def test_garbage_env_level_falls_back_to_warning(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "CHATTY")
+        root = configure(force=True)
+        assert root.level == logging.WARNING
+        monkeypatch.delenv(LOG_LEVEL_ENV)
+        configure(force=True)
+
+    def test_single_handler_and_no_propagation(self):
+        configure(force=True)
+        configure(force=True)
+        root = logging.getLogger(ROOT_LOGGER)
+        tagged = [h for h in root.handlers if getattr(h, "_repro_handler", False)]
+        assert len(tagged) == 1
+        assert root.propagate is False
+
+
+class TestHeartbeatLogging:
+    def test_unexpected_heartbeat_exception_is_logged_not_silent(self):
+        queue = mock.Mock()
+        queue.heartbeat.side_effect = RuntimeError("queue backend gone")
+        thread = _LeaseHeartbeat(queue, "job-1", "worker-1", interval=0.05)
+        with mock.patch("repro.runner.service.logger") as logger:
+            thread.run()
+        assert logger.exception.called
+        message = logger.exception.call_args[0][0]
+        assert "heartbeat" in message
+
+    def test_lost_lease_exits_quietly(self):
+        queue = mock.Mock()
+        queue.heartbeat.return_value = False
+        thread = _LeaseHeartbeat(queue, "job-1", "worker-1", interval=0.05)
+        with mock.patch("repro.runner.service.logger") as logger:
+            thread.run()
+        assert not logger.exception.called
