@@ -16,10 +16,16 @@ is bit-identical to a serial one with zero duplicate replays, and writes
 speedup is physically bounded by the host's cores (a 1-CPU container
 honestly reports ~1.0x; CI's multi-core runners show the real scaling).
 
+``--benchmark search`` times a fixed-seed warm design-space search
+(``repro.search``) over the scenario tier — steps/sec plus the scenario
+and in-loop memo hit rates, with the zero-replay-miss contract asserted —
+and writes ``BENCH_search.json``.
+
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--benchmark scoring|runner]
-        [--smoke] [--points N] [--workers N] [--repeats N] [--output FILE]
+    PYTHONPATH=src python scripts/bench_report.py
+        [--benchmark scoring|runner|search] [--smoke] [--points N]
+        [--workers N] [--repeats N] [--steps N] [--output FILE]
 
 ``--smoke`` shrinks the trace and repeat counts so the whole script runs in
 a few seconds (the CI configuration); the scoring grid keeps >= 64 points
@@ -276,11 +282,70 @@ def benchmark_runner_service(
     return report
 
 
+def benchmark_search(fidelity: Fidelity, steps: int, seed: int, agent_name: str):
+    """Warm-search throughput: steps/sec and cache hit rates of a fixed-seed run.
+
+    A warm-up pass pays every replay/score cost once; the timed pass then
+    re-runs the identical seeded search through a fresh runner sharing the
+    cache directory, so the measured rate is the steady-state cost of a
+    search step — scenario-tier JSON loads plus agent bookkeeping.  The
+    zero-replay-miss contract is asserted on the timed pass.
+    """
+    from repro.search import ScenarioSearchProblem, make_agent, run_search
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-search-") as cache_dir:
+        warm_started = time.perf_counter()
+        warm_runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+        warm_problem = ScenarioSearchProblem(runner=warm_runner, fidelity=fidelity)
+        warm_problem.baseline()
+        run_search(
+            warm_problem, make_agent(agent_name, warm_problem.space, seed=seed), steps
+        )
+        warmup_seconds = time.perf_counter() - warm_started
+
+        runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+        problem = ScenarioSearchProblem(runner=runner, fidelity=fidelity)
+        baseline = problem.baseline()
+        agent = make_agent(agent_name, problem.space, seed=seed)
+        started = time.perf_counter()
+        result = run_search(problem, agent, steps, baseline=baseline)
+        seconds = time.perf_counter() - started
+
+        if runner.replays or runner.disk_cache.replay_misses:
+            raise AssertionError(
+                f"warm search touched the replay tier ({runner.replays} replays, "
+                f"{runner.disk_cache.replay_misses} misses) — the score-tier-only "
+                "contract is broken"
+            )
+        counters = runner.disk_cache.tier_counters()
+
+    scenario_lookups = counters["scenario_hits"] + counters["scenario_misses"]
+    return {
+        "agent": agent_name,
+        "steps": steps,
+        "seed": seed,
+        "warmup_seconds": warmup_seconds,
+        "seconds": seconds,
+        "steps_per_second": steps / seconds,
+        "baseline_fitness": result.baseline_fitness,
+        "best_fitness": result.best_fitness,
+        "evaluations": result.evaluations,
+        "memo_hits": result.memo_hits,
+        "memo_hit_rate": result.memo_hit_rate,
+        "scenario_tier_hits": counters["scenario_hits"],
+        "scenario_tier_misses": counters["scenario_misses"],
+        "scenario_tier_hit_rate": (
+            counters["scenario_hits"] / scenario_lookups if scenario_lookups else 0.0
+        ),
+        "replay_misses": 0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--benchmark",
-        choices=("scoring", "runner"),
+        choices=("scoring", "runner", "search"),
         default="scoring",
         help="which benchmark to run (default: scoring)",
     )
@@ -309,6 +374,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="timing repeats (matched pairs; median ratio reported)"
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="search: steps in the timed search (default 200; 40 with --smoke)",
     )
     parser.add_argument(
         "--output",
@@ -358,7 +429,16 @@ def main(argv=None) -> int:
         trace_context = contextlib.nullcontext()
 
     with trace_context:
-        if args.benchmark == "runner":
+        if args.benchmark == "search":
+            steps = args.steps if args.steps is not None else (40 if args.smoke else 200)
+            report = {
+                "benchmark": "search",
+                "smoke": args.smoke,
+                "warm_search": benchmark_search(
+                    fidelity, steps, seed=7, agent_name="genetic"
+                ),
+            }
+        elif args.benchmark == "runner":
             repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 15)
             rounds = args.rounds if args.rounds is not None else (1 if args.smoke else 3)
             leaves = args.leaves if args.leaves is not None else (6 if args.smoke else 16)
@@ -413,7 +493,16 @@ def main(argv=None) -> int:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
 
-    if args.benchmark == "runner":
+    if args.benchmark == "search":
+        warm = report["warm_search"]
+        print(
+            f"\nwarm search: {warm['steps_per_second']:.0f} steps/s over "
+            f"{warm['steps']} steps (scenario-tier hit rate "
+            f"{warm['scenario_tier_hit_rate']:.2%}, memo hit rate "
+            f"{warm['memo_hit_rate']:.2%}, zero replay misses)",
+            file=sys.stderr,
+        )
+    elif args.benchmark == "runner":
         cold = report["cold_plan_throughput"]
         print(
             f"\ncold plan through the service: {cold['speedup']:.2f}x at "

@@ -1,0 +1,241 @@
+"""Design-space search over the Morpheus policy knobs (ROADMAP open item 1).
+
+Runs seeded search agents (random-walk and genetic, by default) over the
+:func:`~repro.search.space.morpheus_policy_space` knobs on one scenario
+timeline, and emits a best-config report plus a convergence comparison
+across the agents.  The hand-tuned ``DynamicCapacityManager()`` default is
+the baseline: the script **asserts** the search beats it.
+
+The search is run twice with identical seeds:
+
+1. a *warm-up* pass populates every cache tier (replay-affecting axes —
+   predictor flavour, SM splits — each miss the replay tier at most once
+   per distinct leaf);
+2. a *verification* pass re-runs the same trajectories through a fresh
+   runner sharing the cache directory and asserts **zero replay-tier
+   misses** — the score-tier-only property the two-phase cache promises a
+   search loop — plus trajectory bit-identity (determinism).
+
+Every step logs through the telemetry layer (``search.step`` spans with
+proposal/fitness/cache-hit metrics); the emitted trace is validated
+against the event schema before the script exits.
+
+Usage::
+
+    PYTHONPATH=src python scripts/search.py [--smoke] [--steps N]
+        [--seed N] [--scenario NAME] [--system NAME] [--agents a,b,...]
+        [--cache-dir DIR] [--trace DIR] [--output FILE|-]
+
+``--smoke`` is the CI configuration: a ~20-step search at tiny fidelity
+that still exercises every assertion (finite best fitness, beats the
+baseline, zero replay misses, valid trace) in a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import ExperimentRunner
+from repro.search import (
+    AGENT_TYPES,
+    ScenarioSearchProblem,
+    SearchResult,
+    make_agent,
+    run_search,
+)
+from repro.systems.fidelity import FAST_FIDELITY, Fidelity
+from repro.telemetry import Telemetry
+from repro.telemetry.schema import iter_records, validate_directory
+
+#: Tiny trace sizing for ``--smoke`` (mirrors the other CI smoke scripts).
+SMOKE_FIDELITY = Fidelity(
+    capacity_scale=1.0 / 64.0,
+    trace_accesses=800,
+    warmup_accesses=200,
+    search_trace_accesses=400,
+    search_warmup_accesses=100,
+)
+
+#: Milestone steps reported in the convergence comparison table.
+MILESTONE_COUNT = 6
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI configuration: ~20 steps at tiny fidelity, all assertions on",
+    )
+    parser.add_argument("--steps", type=int, default=None, help="steps per agent")
+    parser.add_argument("--seed", type=int, default=7, help="agent RNG seed")
+    parser.add_argument("--scenario", default="mixed_tenancy")
+    parser.add_argument("--system", default="Morpheus-Basic")
+    parser.add_argument(
+        "--agents",
+        default=",".join(sorted(AGENT_TYPES)),
+        help="comma-separated agent names (default: all registered)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (default: a temp dir)"
+    )
+    parser.add_argument(
+        "--trace", default=None, help="telemetry trace directory (default: a temp dir)"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here ('-' = stdout)"
+    )
+    return parser.parse_args(argv)
+
+
+def _run_agents(
+    cache_dir: str,
+    agent_names: Sequence[str],
+    args: argparse.Namespace,
+    fidelity: Fidelity,
+    steps: int,
+) -> tuple[ExperimentRunner, float, Dict[str, SearchResult]]:
+    """One full pass: every agent searches the same problem on one runner."""
+    runner = ExperimentRunner(cache_dir=cache_dir)
+    problem = ScenarioSearchProblem(
+        scenario=args.scenario,
+        system=args.system,
+        runner=runner,
+        fidelity=fidelity,
+    )
+    baseline = problem.baseline()
+    results: Dict[str, SearchResult] = {}
+    for name in agent_names:
+        agent = make_agent(name, problem.space, seed=args.seed)
+        results[name] = run_search(problem, agent, steps, baseline=baseline)
+    return runner, baseline.fitness, results
+
+
+def _milestones(steps: int) -> List[int]:
+    """Step indices for the convergence table (roughly log-spaced)."""
+    picks = {steps - 1}
+    for index in range(MILESTONE_COUNT):
+        picks.add(min(steps - 1, int(round(steps ** (index / MILESTONE_COUNT))) - 1))
+    return sorted(picks)
+
+
+def _render(
+    baseline_fitness: float, results: Dict[str, SearchResult], steps: int
+) -> str:
+    lines = [
+        "design-space search: mixed-tenancy weighted speedup "
+        f"(baseline hand-tuned dynamic policy = {baseline_fitness:.6f})",
+        "",
+        f"{'agent':<14}{'best':>10}{'vs base':>9}{'evals':>7}"
+        f"{'memo':>6}{'sec':>8}",
+    ]
+    for name, result in results.items():
+        improvement = result.improvement_over_baseline or 0.0
+        lines.append(
+            f"{name:<14}{result.best_fitness:>10.6f}{improvement:>8.2%}"
+            f"{result.evaluations:>7}{result.memo_hits:>6}"
+            f"{result.elapsed_seconds:>8.2f}"
+        )
+    lines.append("")
+    lines.append("convergence (running best fitness at step):")
+    milestones = _milestones(steps)
+    header = f"{'step':<14}" + "".join(f"{index + 1:>10}" for index in milestones)
+    lines.append(header)
+    for name, result in results.items():
+        trace = result.convergence()
+        lines.append(
+            f"{name:<14}" + "".join(f"{trace[index]:>10.4f}" for index in milestones)
+        )
+    lines.append("")
+    best_name = max(results, key=lambda name: results[name].best_fitness)
+    best = results[best_name]
+    lines.append(f"best configuration ({best_name}):")
+    for axis, value in best.best_candidate.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {axis:<28}{rendered}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    fidelity = SMOKE_FIDELITY if args.smoke else FAST_FIDELITY
+    steps = args.steps if args.steps is not None else (20 if args.smoke else 120)
+    agent_names = [name.strip() for name in args.agents.split(",") if name.strip()]
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-search-cache-")
+    trace_dir = Path(args.trace or tempfile.mkdtemp(prefix="repro-search-trace-"))
+
+    with Telemetry(directory=trace_dir, enabled=True):
+        print(f"warm-up pass: {len(agent_names)} agent(s) x {steps} steps ...")
+        _run_agents(cache_dir, agent_names, args, fidelity, steps)
+
+        print("verification pass: fresh runner over the warm cache ...")
+        runner, baseline_fitness, results = _run_agents(
+            cache_dir, agent_names, args, fidelity, steps
+        )
+
+    # The score-tier-only contract: a warm search never replays a trace.
+    replay_misses = runner.disk_cache.replay_misses
+    assert runner.replays == 0, f"warm search replayed {runner.replays} trace(s)"
+    assert replay_misses == 0, f"warm search had {replay_misses} replay-tier misses"
+
+    for name, result in results.items():
+        assert math.isfinite(result.best_fitness), f"{name}: non-finite best fitness"
+    best_fitness = max(result.best_fitness for result in results.values())
+    assert best_fitness > baseline_fitness, (
+        f"search did not beat the hand-tuned baseline "
+        f"({best_fitness:.6f} <= {baseline_fitness:.6f})"
+    )
+
+    files, errors = validate_directory(trace_dir)
+    assert not errors, f"invalid telemetry trace: {errors[:3]}"
+    assert files > 0, "search emitted no telemetry sink files"
+    step_spans = sum(
+        1
+        for path in sorted(trace_dir.glob("events-*.jsonl"))
+        for _, record in iter_records(path)
+        if record.get("type") == "span" and record.get("name") == "search.step"
+    )
+    expected_spans = 2 * len(agent_names) * steps  # warm-up + verification passes
+    assert step_spans == expected_spans, (
+        f"expected {expected_spans} search.step spans, trace has {step_spans}"
+    )
+
+    print()
+    print(_render(baseline_fitness, results, steps))
+    print()
+    print(
+        f"assertions passed: zero replay misses, best {best_fitness:.6f} > "
+        f"baseline {baseline_fitness:.6f}, trace valid "
+        f"({step_spans} search.step spans across {files} sink file(s))"
+    )
+
+    if args.output:
+        payload = {
+            "scenario": args.scenario,
+            "system": args.system,
+            "steps": steps,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "baseline_fitness": baseline_fitness,
+            "telemetry_step_spans": step_spans,
+            "agents": {name: result.to_jsonable() for name, result in results.items()},
+        }
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+        if args.output == "-":
+            print(rendered)
+        else:
+            Path(args.output).write_text(rendered + "\n")
+            print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
-"""Two-tier content-addressed on-disk cache.
+"""Three-tier content-addressed on-disk cache.
 
-The cache directory (default ``.repro_cache/``) holds two tiers, one JSON
+The cache directory (default ``.repro_cache/``) holds three tiers, one JSON
 file per entry, each sharded by key prefix:
 
 * ``measurements/`` — raw :class:`~repro.sim.performance_model.ReplayMeasurement`
@@ -357,7 +357,7 @@ class ResultCache:
     # -- cross-process counter folding -------------------------------------------------
 
     def tier_counters(self) -> Dict[str, int]:
-        """Both tiers' hit/miss/store counters as a plain dict.
+        """All three tiers' hit/miss/store counters as a plain dict.
 
         Worker processes of a parallel plan ship these back so the parent
         runner's cache counters stay truthful (see :func:`absorb_counters`).
@@ -446,7 +446,7 @@ class ResultCache:
                 yield path
 
     def size_bytes(self, tier: Optional[str] = None) -> int:
-        """Total size of the committed entries in ``tier`` (or both tiers)."""
+        """Total size of the committed entries in ``tier`` (or all three tiers)."""
         total = 0
         for _, json_tier in self._tiers(tier):
             for path in json_tier.entries():
@@ -479,8 +479,9 @@ class ResultCache:
     def prune(self, max_bytes: Optional[int] = None, tier: Optional[str] = None) -> int:
         """Delete cache entries and return how many files were removed.
 
-        Without ``max_bytes`` every entry in ``tier`` (default: both tiers)
-        is deleted — used to reclaim space after schema bumps.  With
+        Without ``max_bytes`` every entry in ``tier`` (default: all three
+        tiers — ``stats``, ``measurements``, ``scenarios``) is deleted —
+        used to reclaim space after schema bumps.  With
         ``max_bytes`` the selected tiers are instead capped to that total
         size, evicting least-recently-modified entries first (LRU by
         mtime).  Stale atomic-write temp files and pre-two-tier legacy
@@ -564,7 +565,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             ResultCache.SCENARIOS_TIER,
         ),
         default=None,
-        help="restrict pruning to one tier (default: all)",
+        help=(
+            "restrict pruning to one tier: 'stats' (scored results), "
+            "'measurements' (replay records), or 'scenarios' (timeline "
+            "aggregates); default: all three"
+        ),
     )
     args = parser.parse_args(argv)
 

@@ -550,17 +550,27 @@ class DynamicCapacityManager(CapacityPolicy):
             own transition cost.
         arbitration: How the pool is split across a co-run phase's
             residents (``"proportional"`` or ``"sensitivity"``).
+        pool_cap_sms: Optional cap on the pooled cache-mode allocation,
+            *below* the architectural §4.1.3 cap — the tunable "split
+            point" a design-space search moves.  ``None`` (the default)
+            targets the full idle capacity, the original behaviour.
     """
 
     name = "dynamic"
 
     def __init__(
-        self, hysteresis_sms: int = 0, arbitration: str = "proportional"
+        self,
+        hysteresis_sms: int = 0,
+        arbitration: str = "proportional",
+        pool_cap_sms: Optional[int] = None,
     ) -> None:
         if hysteresis_sms < 0:
             raise ValueError("hysteresis_sms must be non-negative")
+        if pool_cap_sms is not None and pool_cap_sms < 0:
+            raise ValueError("pool_cap_sms must be non-negative")
         self.hysteresis_sms = hysteresis_sms
         self.arbitration = _validate_arbitration(arbitration)
+        self.pool_cap_sms = pool_cap_sms
 
     def plan(
         self,
@@ -571,6 +581,8 @@ class DynamicCapacityManager(CapacityPolicy):
         transition_model: TransitionCostModel,
     ) -> List[PhaseDecision]:
         cap = max_cache_mode_sms(gpu, morpheus)
+        if self.pool_cap_sms is not None:
+            cap = min(cap, self.pool_cap_sms)
         decisions: List[PhaseDecision] = []
         previous_pool = 0
         previous_shares: Dict[str, int] = {}

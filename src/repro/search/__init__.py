@@ -1,0 +1,52 @@
+"""Design-space search over the Morpheus configuration knobs.
+
+ArchGym-style agent loops (ROADMAP open item 1): a declarative
+:class:`~repro.search.space.SearchSpace` of tunable axes, a
+:class:`~repro.search.problem.SearchProblem` that scores candidates through
+the two-phase cache (warm searches are score-tier-only — zero replay
+misses), seeded deterministic agents behind one
+:class:`~repro.search.agents.Agent` propose/observe interface, and a
+telemetry-logged :func:`~repro.search.loop.run_search` driver.
+"""
+
+from .agents import AGENT_TYPES, Agent, GeneticAgent, RandomWalkAgent, make_agent
+from .loop import SearchResult, SearchStep, run_search
+from .problem import (
+    Evaluation,
+    EnvelopeSearchProblem,
+    ScenarioSearchProblem,
+    SearchProblem,
+)
+from .space import (
+    Axis,
+    CategoricalAxis,
+    Candidate,
+    FloatAxis,
+    IntAxis,
+    SearchSpace,
+    envelope_space,
+    morpheus_policy_space,
+)
+
+__all__ = [
+    "AGENT_TYPES",
+    "Agent",
+    "Axis",
+    "CategoricalAxis",
+    "Candidate",
+    "Evaluation",
+    "EnvelopeSearchProblem",
+    "FloatAxis",
+    "GeneticAgent",
+    "IntAxis",
+    "RandomWalkAgent",
+    "ScenarioSearchProblem",
+    "SearchProblem",
+    "SearchResult",
+    "SearchSpace",
+    "SearchStep",
+    "make_agent",
+    "morpheus_policy_space",
+    "envelope_space",
+    "run_search",
+]

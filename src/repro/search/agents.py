@@ -1,0 +1,216 @@
+"""Search agents: propose/observe strategies over a :class:`SearchSpace`.
+
+Every agent speaks one two-call protocol, the ArchGym-style agent loop:
+
+1. ``candidate = agent.propose()`` — the next configuration to evaluate;
+2. ``agent.observe(candidate, fitness)`` — the measured fitness, fed back.
+
+The calls strictly alternate (enforced, so a buggy loop fails loudly
+instead of silently corrupting an agent's state), and all randomness comes
+from a ``random.Random(seed)`` owned by the agent — the same seed over the
+same problem replays the exact same trajectory, which is what makes warm
+re-runs of a search hit the scenario cache on every step.
+
+Two built-in strategies:
+
+* :class:`RandomWalkAgent` — an explore/exploit hill climber: mutate the
+  best candidate seen so far, occasionally restarting from a fresh uniform
+  sample.
+* :class:`GeneticAgent` — a steady generational GA: tournament parent
+  selection, uniform crossover, per-axis mutation, elitism.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .space import Candidate, FrozenCandidate, SearchSpace
+
+
+class Agent(abc.ABC):
+    """One search strategy; subclasses implement ``_propose``/``_observe``."""
+
+    name: str = "agent"
+
+    def __init__(self, space: SearchSpace, seed: int = 0) -> None:
+        self.space = space
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.steps = 0
+        self.best_candidate: Optional[Candidate] = None
+        self.best_fitness = float("-inf")
+        self._pending: Optional[FrozenCandidate] = None
+
+    # -- the propose/observe protocol --------------------------------------------------
+
+    def propose(self) -> Candidate:
+        """The next candidate to evaluate (must be followed by ``observe``)."""
+        if self._pending is not None:
+            raise RuntimeError(
+                f"{self.name}: propose() called with an unobserved proposal pending"
+            )
+        candidate = self._propose()
+        self.space.validate(candidate)
+        self._pending = self.space.freeze(candidate)
+        return dict(candidate)
+
+    def observe(self, candidate: Candidate, fitness: float) -> None:
+        """Feed back the fitness of the candidate ``propose`` just returned."""
+        if self._pending is None:
+            raise RuntimeError(f"{self.name}: observe() called with nothing proposed")
+        if self.space.freeze(candidate) != self._pending:
+            raise RuntimeError(
+                f"{self.name}: observe() got a candidate that was not the "
+                "pending proposal"
+            )
+        self._pending = None
+        self.steps += 1
+        # Strictly-greater keeps the *first* best under ties, so trajectories
+        # (and the reported best config) are deterministic.
+        if fitness > self.best_fitness:
+            self.best_fitness = fitness
+            self.best_candidate = dict(candidate)
+        self._observe(dict(candidate), fitness)
+
+    # -- strategy hooks ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _propose(self) -> Candidate:
+        """The strategy's next candidate."""
+
+    def _observe(self, candidate: Candidate, fitness: float) -> None:
+        """Strategy-specific bookkeeping (default: none)."""
+
+
+class RandomWalkAgent(Agent):
+    """Explore/exploit hill climber over the space's mutation kernel.
+
+    Proposes a mutation of the best candidate seen so far; with probability
+    ``explore_probability`` (and always on the first step) it instead
+    samples a fresh uniform candidate, so the walk cannot pin itself to the
+    first local optimum it finds.
+    """
+
+    name = "random_walk"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        explore_probability: float = 0.25,
+    ) -> None:
+        super().__init__(space, seed)
+        if not 0.0 <= explore_probability <= 1.0:
+            raise ValueError("explore_probability must be in [0, 1]")
+        self.explore_probability = explore_probability
+
+    def _propose(self) -> Candidate:
+        if (
+            self.best_candidate is None
+            or self.rng.random() < self.explore_probability
+        ):
+            return self.space.sample(self.rng)
+        return self.space.mutate(self.best_candidate, self.rng)
+
+
+class GeneticAgent(Agent):
+    """A small generational GA: tournaments, uniform crossover, elitism.
+
+    The first ``population_size`` proposals are uniform samples (generation
+    zero).  Once a full generation is observed, the next one is bred:
+    the ``elite_count`` fittest survive unchanged, and every remaining slot
+    is filled by crossing two tournament-selected parents and mutating the
+    child with probability ``mutation_probability``.  Ties break toward the
+    earlier individual (stable sort), keeping breeding deterministic.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        population_size: int = 8,
+        elite_count: int = 2,
+        tournament_size: int = 3,
+        mutation_probability: float = 0.6,
+    ) -> None:
+        super().__init__(space, seed)
+        if population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not 0 <= elite_count < population_size:
+            raise ValueError("elite_count must be in [0, population_size)")
+        if tournament_size < 1:
+            raise ValueError("tournament_size must be positive")
+        if not 0.0 <= mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must be in [0, 1]")
+        self.population_size = population_size
+        self.elite_count = elite_count
+        self.tournament_size = tournament_size
+        self.mutation_probability = mutation_probability
+        self.generation = 0
+        self._queue: List[Candidate] = [
+            self.space.sample(self.rng) for _ in range(population_size)
+        ]
+        self._next_index = 0
+        self._scored: List[Tuple[Candidate, float]] = []
+
+    def _propose(self) -> Candidate:
+        if self._next_index >= len(self._queue):
+            self._breed()
+        candidate = self._queue[self._next_index]
+        self._next_index += 1
+        return candidate
+
+    def _observe(self, candidate: Candidate, fitness: float) -> None:
+        self._scored.append((candidate, fitness))
+
+    def _breed(self) -> None:
+        """Replace the evaluated generation with its offspring."""
+        ranked = sorted(
+            self._scored, key=lambda entry: entry[1], reverse=True
+        )  # stable: equal fitness keeps evaluation order
+        parents = ranked[: max(2, self.population_size // 2)]
+        offspring: List[Candidate] = [
+            dict(candidate) for candidate, _ in ranked[: self.elite_count]
+        ]
+        while len(offspring) < self.population_size:
+            first = self._tournament(parents)
+            second = self._tournament(parents)
+            child = self.space.crossover(first, second, self.rng)
+            if self.rng.random() < self.mutation_probability:
+                child = self.space.mutate(child, self.rng)
+            offspring.append(child)
+        self.generation += 1
+        self._queue = offspring
+        self._next_index = 0
+        self._scored = []
+
+    def _tournament(self, pool: List[Tuple[Candidate, float]]) -> Candidate:
+        """The fittest of ``tournament_size`` random picks from ``pool``."""
+        best: Optional[Tuple[Candidate, float]] = None
+        for _ in range(self.tournament_size):
+            entry = pool[self.rng.randrange(len(pool))]
+            if best is None or entry[1] > best[1]:
+                best = entry
+        assert best is not None
+        return best[0]
+
+
+#: Registry used by scripts and tests to build agents by name.
+AGENT_TYPES: Dict[str, type] = {
+    RandomWalkAgent.name: RandomWalkAgent,
+    GeneticAgent.name: GeneticAgent,
+}
+
+
+def make_agent(name: str, space: SearchSpace, seed: int = 0) -> Agent:
+    """Construct a registered agent by name with its default knobs."""
+    try:
+        agent_type = AGENT_TYPES[name]
+    except KeyError:
+        valid = ", ".join(sorted(AGENT_TYPES))
+        raise ValueError(f"unknown agent {name!r}; expected one of: {valid}") from None
+    return agent_type(space, seed=seed)

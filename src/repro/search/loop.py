@@ -1,0 +1,154 @@
+"""The search loop: drive one agent over one problem, telemetry-logged.
+
+:func:`run_search` is the deterministic outer loop ROADMAP open item 1
+asks for: ``steps`` iterations of propose → evaluate → observe, with an
+in-loop memo so an agent revisiting a candidate costs a dictionary lookup
+instead of a scenario run, and every step wrapped in a ``search.step``
+telemetry span carrying proposal/fitness/cache-hit metrics (the existing
+trace format — no private logging).
+
+The returned :class:`SearchResult` carries the full trajectory (for
+convergence plots and determinism tests), the best candidate, and the
+cache-accounting counters the zero-replay-miss assertions check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry import telemetry
+
+from .agents import Agent
+from .problem import Evaluation, SearchProblem
+from .space import Candidate, FrozenCandidate
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One iteration of the loop: what was proposed and how it scored."""
+
+    index: int
+    candidate: Dict[str, object]
+    fitness: float
+    memo_hit: bool
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One agent's finished trajectory over one problem."""
+
+    agent: str
+    seed: int
+    steps: Tuple[SearchStep, ...]
+    best_candidate: Dict[str, object]
+    best_fitness: float
+    evaluations: int
+    memo_hits: int
+    elapsed_seconds: float
+    baseline_fitness: Optional[float] = None
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of steps served by the in-loop memo."""
+        return self.memo_hits / len(self.steps) if self.steps else 0.0
+
+    @property
+    def improvement_over_baseline(self) -> Optional[float]:
+        """Best fitness relative to the baseline (None without a baseline)."""
+        if self.baseline_fitness is None or self.baseline_fitness == 0.0:
+            return None
+        return self.best_fitness / self.baseline_fitness - 1.0
+
+    def convergence(self) -> List[float]:
+        """Running best fitness after each step (for convergence plots)."""
+        best = float("-inf")
+        trace: List[float] = []
+        for step in self.steps:
+            best = max(best, step.fitness)
+            trace.append(best)
+        return trace
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-serializable report of the trajectory."""
+        return {
+            "agent": self.agent,
+            "seed": self.seed,
+            "steps": len(self.steps),
+            "best_candidate": dict(self.best_candidate),
+            "best_fitness": self.best_fitness,
+            "baseline_fitness": self.baseline_fitness,
+            "improvement_over_baseline": self.improvement_over_baseline,
+            "evaluations": self.evaluations,
+            "memo_hits": self.memo_hits,
+            "memo_hit_rate": self.memo_hit_rate,
+            "elapsed_seconds": self.elapsed_seconds,
+            "convergence": self.convergence(),
+        }
+
+
+def run_search(
+    problem: SearchProblem,
+    agent: Agent,
+    steps: int,
+    baseline: Optional[Evaluation] = None,
+    memo: Optional[Dict[FrozenCandidate, Evaluation]] = None,
+) -> SearchResult:
+    """Run ``agent`` over ``problem`` for ``steps`` iterations.
+
+    ``baseline`` (usually ``problem.baseline()``) is recorded on the result
+    for improvement reporting; pass ``memo`` to share one evaluation memo
+    across several agents searching the same problem (candidates one agent
+    already paid for are free to the others — the in-process analogue of
+    the on-disk scenario tier).
+    """
+    if steps < 1:
+        raise ValueError("steps must be positive")
+    memo = {} if memo is None else memo
+    trajectory: List[SearchStep] = []
+    evaluations = 0
+    memo_hits = 0
+    started = time.perf_counter()
+    tracer = telemetry()
+    for index in range(steps):
+        step_started = time.perf_counter()
+        with tracer.span("search.step", agent=agent.name, step=index):
+            candidate = agent.propose()
+            key = problem.space.freeze(candidate)
+            cached = memo.get(key)
+            if cached is not None:
+                evaluation = cached
+                memo_hits += 1
+                tracer.count("search.memo_hits")
+            else:
+                evaluation = problem.evaluate(candidate)
+                memo[key] = evaluation
+                evaluations += 1
+                tracer.count("search.evaluations")
+            agent.observe(candidate, evaluation.fitness)
+            tracer.count("search.proposals")
+            tracer.observe("search.fitness", evaluation.fitness)
+            tracer.gauge("search.best_fitness", agent.best_fitness)
+        trajectory.append(
+            SearchStep(
+                index=index,
+                candidate=dict(candidate),
+                fitness=evaluation.fitness,
+                memo_hit=cached is not None,
+                elapsed_seconds=time.perf_counter() - step_started,
+            )
+        )
+    assert agent.best_candidate is not None  # steps >= 1 guarantees one observe
+    return SearchResult(
+        agent=agent.name,
+        seed=agent.seed,
+        steps=tuple(trajectory),
+        best_candidate=dict(agent.best_candidate),
+        best_fitness=agent.best_fitness,
+        evaluations=evaluations,
+        memo_hits=memo_hits,
+        elapsed_seconds=time.perf_counter() - started,
+        baseline_fitness=baseline.fitness if baseline is not None else None,
+    )

@@ -1,0 +1,295 @@
+"""Declarative search spaces over the Morpheus configuration knobs.
+
+A :class:`SearchSpace` is an ordered tuple of named axes — integer ranges,
+float intervals, categorical choices — with the three genetic primitives
+every agent needs: ``sample`` (a fresh uniform candidate), ``mutate`` (a
+nearby candidate, at least one axis changed) and ``crossover`` (a per-axis
+recombination of two parents).  All randomness flows through a caller-owned
+``random.Random``, so a seeded agent's trajectory is exactly reproducible.
+
+Candidates are plain ``{axis name: value}`` dicts; :meth:`SearchSpace.freeze`
+turns one into a hashable key for memoization and trajectory comparison.
+
+Two concrete spaces cover ROADMAP open item 1's axes:
+
+* :func:`morpheus_policy_space` — the scenario-level policy knobs: the
+  Morpheus split point (``pool_cap_sms``), the
+  :class:`~repro.scenarios.policy.DynamicCapacityManager` hysteresis and
+  arbitration mode, the predictor flavour, and the
+  :class:`~repro.scenarios.policy.TransitionCostModel` constants.
+* :func:`envelope_space` — the per-leaf
+  :class:`~repro.sim.performance_model.ResourceEnvelope` bandwidth shares.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import MorpheusConfig
+from repro.gpu.config import GPUConfig, RTX3080_CONFIG
+from repro.scenarios.policy import ARBITRATION_MODES, max_cache_mode_sms
+
+#: A point in the search space: one value per axis.
+Candidate = Dict[str, object]
+
+#: Hashable form of a candidate (axis order, so keys compare stably).
+FrozenCandidate = Tuple[Tuple[str, object], ...]
+
+#: Predictor flavours accepted by :class:`~repro.core.config.MorpheusConfig`.
+PREDICTOR_FLAVOURS: Tuple[str, ...] = ("bloom", "none", "perfect")
+
+
+@dataclass(frozen=True)
+class Axis(abc.ABC):
+    """One named tunable dimension of a search space."""
+
+    name: str
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> object:
+        """A uniform random valid value."""
+
+    @abc.abstractmethod
+    def mutate(self, value: object, rng: random.Random) -> object:
+        """A nearby valid value, different from ``value`` whenever the axis
+        has more than one value."""
+
+    @abc.abstractmethod
+    def validate(self, value: object) -> None:
+        """Raise ``ValueError`` when ``value`` is not a point on this axis."""
+
+
+@dataclass(frozen=True)
+class IntAxis(Axis):
+    """An inclusive integer range ``low..high`` on a fixed ``step`` grid."""
+
+    low: int = 0
+    high: int = 0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"axis {self.name}: low must be <= high")
+        if self.step < 1:
+            raise ValueError(f"axis {self.name}: step must be positive")
+        if (self.high - self.low) % self.step:
+            raise ValueError(f"axis {self.name}: high must sit on the step grid")
+
+    @property
+    def count(self) -> int:
+        return (self.high - self.low) // self.step + 1
+
+    def sample(self, rng: random.Random) -> int:
+        return self.low + self.step * rng.randrange(self.count)
+
+    def mutate(self, value: object, rng: random.Random) -> int:
+        self.validate(value)
+        if self.count == 1:
+            return self.low
+        # A short +-1/+-2 step walk; reflecting off the ends keeps the
+        # result in range *and* different from the input.
+        current = int(value)  # type: ignore[arg-type]
+        offset = rng.choice((-2, -1, 1, 2)) * self.step
+        moved = current + offset
+        if not self.low <= moved <= self.high:
+            moved = current - offset
+        if not self.low <= moved <= self.high:
+            moved = current + (self.step if current == self.low else -self.step)
+        return moved
+
+    def validate(self, value: object) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"axis {self.name}: {value!r} is not an int")
+        if not self.low <= value <= self.high or (value - self.low) % self.step:
+            raise ValueError(
+                f"axis {self.name}: {value!r} outside "
+                f"{self.low}..{self.high} step {self.step}"
+            )
+
+
+@dataclass(frozen=True)
+class FloatAxis(Axis):
+    """A closed float interval ``[low, high]``."""
+
+    low: float = 0.0
+    high: float = 1.0
+    #: Mutation kick as a fraction of the interval width.
+    mutation_scale: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(f"axis {self.name}: low must be < high")
+        if self.mutation_scale <= 0:
+            raise ValueError(f"axis {self.name}: mutation_scale must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mutate(self, value: object, rng: random.Random) -> float:
+        self.validate(value)
+        sigma = (self.high - self.low) * self.mutation_scale
+        moved = float(value) + rng.gauss(0.0, sigma)  # type: ignore[arg-type]
+        return min(self.high, max(self.low, moved))
+
+    def validate(self, value: object) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"axis {self.name}: {value!r} is not a number")
+        if not self.low <= float(value) <= self.high:
+            raise ValueError(
+                f"axis {self.name}: {value!r} outside [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class CategoricalAxis(Axis):
+    """A finite unordered set of choices."""
+
+    choices: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError(f"axis {self.name}: choices must be non-empty")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"axis {self.name}: choices must be unique")
+
+    def sample(self, rng: random.Random) -> object:
+        return self.choices[rng.randrange(len(self.choices))]
+
+    def mutate(self, value: object, rng: random.Random) -> object:
+        self.validate(value)
+        if len(self.choices) == 1:
+            return value
+        others = [choice for choice in self.choices if choice != value]
+        return others[rng.randrange(len(others))]
+
+    def validate(self, value: object) -> None:
+        if value not in self.choices:
+            raise ValueError(
+                f"axis {self.name}: {value!r} not one of {self.choices!r}"
+            )
+
+
+class SearchSpace:
+    """An ordered, named collection of axes with the genetic primitives."""
+
+    def __init__(self, axes: Sequence[Axis]) -> None:
+        if not axes:
+            raise ValueError("a search space needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names: {names}")
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        self._by_name: Dict[str, Axis] = {axis.name: axis for axis in self.axes}
+
+    def __len__(self) -> int:
+        return len(self.axes)
+
+    def __iter__(self) -> Iterator[Axis]:
+        return iter(self.axes)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def axis(self, name: str) -> Axis:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no axis named {name!r}; have {self.names}") from None
+
+    def validate(self, candidate: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` unless ``candidate`` covers every axis exactly."""
+        unknown = set(candidate) - set(self._by_name)
+        if unknown:
+            raise ValueError(f"unknown axes in candidate: {sorted(unknown)}")
+        missing = set(self._by_name) - set(candidate)
+        if missing:
+            raise ValueError(f"candidate missing axes: {sorted(missing)}")
+        for name, value in candidate.items():
+            self._by_name[name].validate(value)
+
+    def sample(self, rng: random.Random) -> Candidate:
+        """A fresh uniform candidate."""
+        return {axis.name: axis.sample(rng) for axis in self.axes}
+
+    def mutate(
+        self,
+        candidate: Mapping[str, object],
+        rng: random.Random,
+        rate: Optional[float] = None,
+    ) -> Candidate:
+        """A copy of ``candidate`` with each axis mutated with probability
+        ``rate`` (default ``1/len(axes)``) and at least one axis always
+        mutated — a zero-change "mutation" would stall a hill climber."""
+        self.validate(candidate)
+        if rate is None:
+            rate = 1.0 / len(self.axes)
+        forced = rng.randrange(len(self.axes))
+        mutated: Candidate = {}
+        for index, axis in enumerate(self.axes):
+            value = candidate[axis.name]
+            if index == forced or rng.random() < rate:
+                value = axis.mutate(value, rng)
+            mutated[axis.name] = value
+        return mutated
+
+    def crossover(
+        self,
+        first: Mapping[str, object],
+        second: Mapping[str, object],
+        rng: random.Random,
+    ) -> Candidate:
+        """Uniform crossover: each axis inherited from a random parent."""
+        self.validate(first)
+        self.validate(second)
+        return {
+            axis.name: (first if rng.random() < 0.5 else second)[axis.name]
+            for axis in self.axes
+        }
+
+    def freeze(self, candidate: Mapping[str, object]) -> FrozenCandidate:
+        """Hashable axis-ordered form of ``candidate`` (for memo keys)."""
+        self.validate(candidate)
+        return tuple((axis.name, candidate[axis.name]) for axis in self.axes)
+
+
+def morpheus_policy_space(
+    gpu: GPUConfig = RTX3080_CONFIG,
+    morpheus: Optional[MorpheusConfig] = None,
+) -> SearchSpace:
+    """The scenario-policy knob space ROADMAP open item 1 describes.
+
+    Axes: the Morpheus split point (a cap on the dynamic manager's pooled
+    cache-mode allocation), the manager's hysteresis and arbitration mode,
+    the predictor flavour, and the transition-cost constants.  The split
+    point and hysteresis sit on coarse grids: neighbouring values that the
+    timeline's idle capacity already clamps together would otherwise bloat
+    the replay tier with duplicate-in-behaviour leaves.
+    """
+    cap = max_cache_mode_sms(gpu, morpheus or MorpheusConfig())
+    pool_high = max(8, cap - (cap % 4))
+    return SearchSpace(
+        [
+            IntAxis("pool_cap_sms", low=4, high=pool_high, step=4),
+            IntAxis("hysteresis_sms", low=0, high=8, step=2),
+            CategoricalAxis("arbitration", choices=ARBITRATION_MODES),
+            CategoricalAxis("predictor", choices=PREDICTOR_FLAVOURS),
+            FloatAxis("dirty_fraction", low=0.0, high=1.0),
+            FloatAxis("warmup_fill_fraction", low=0.1, high=1.0),
+            FloatAxis("flush_bandwidth_gbps_per_sm", low=8.0, high=64.0),
+        ]
+    )
+
+
+def envelope_space(low: float = 0.2, high: float = 1.0) -> SearchSpace:
+    """The per-leaf :class:`ResourceEnvelope` bandwidth-share space."""
+    return SearchSpace(
+        [
+            FloatAxis("dram_bandwidth_share", low=low, high=high),
+            FloatAxis("llc_bandwidth_share", low=low, high=high),
+            FloatAxis("noc_bandwidth_share", low=low, high=high),
+        ]
+    )

@@ -23,6 +23,7 @@ dictionary itself.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -36,11 +37,17 @@ SLOWEST_LIMIT = 10
 
 
 def percentile(values: List[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` (nearest-rank; 0 if empty)."""
+    """The ``fraction``-quantile of ``values`` (nearest-rank; 0 if empty).
+
+    True nearest-rank: the smallest value with at least ``fraction`` of the
+    sample at or below it, i.e. ``ordered[ceil(fraction * n) - 1]``.  So the
+    p50 of ``1..100`` is 50, not 51 (the old ``round(fraction * (n - 1))``
+    formula drifted one rank high on even-length samples).
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
     return ordered[index]
 
 

@@ -1,0 +1,186 @@
+"""Agent-interface contract tests and seeded-determinism checks.
+
+These tests run no simulations: fitness comes from cheap synthetic
+functions of the candidate, so they pin down the propose/observe protocol
+and the strategies' deterministic trajectories in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.search import (
+    AGENT_TYPES,
+    GeneticAgent,
+    IntAxis,
+    RandomWalkAgent,
+    SearchSpace,
+    make_agent,
+    morpheus_policy_space,
+)
+from repro.search.space import CategoricalAxis, FloatAxis
+
+
+def _toy_space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntAxis("pool", low=0, high=20, step=2),
+            FloatAxis("frac", low=0.0, high=1.0),
+            CategoricalAxis("mode", choices=("a", "b")),
+        ]
+    )
+
+
+def _toy_fitness(candidate) -> float:
+    # Smooth, deterministic, with a unique optimum at pool=20, frac=1, mode=b.
+    return (
+        candidate["pool"] / 20.0
+        + candidate["frac"]
+        + (0.5 if candidate["mode"] == "b" else 0.0)
+    )
+
+
+class TestAgentContract:
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_propose_twice_without_observe_fails(self, name):
+        agent = make_agent(name, _toy_space(), seed=0)
+        agent.propose()
+        with pytest.raises(RuntimeError, match="unobserved proposal"):
+            agent.propose()
+
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_observe_without_propose_fails(self, name):
+        agent = make_agent(name, _toy_space(), seed=0)
+        with pytest.raises(RuntimeError, match="nothing proposed"):
+            agent.observe(_toy_space().sample(random.Random(0)), 1.0)
+
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_observe_of_a_different_candidate_fails(self, name):
+        space = _toy_space()
+        agent = make_agent(name, space, seed=0)
+        proposed = agent.propose()
+        other = dict(proposed)
+        other["pool"] = 0 if proposed["pool"] != 0 else 2
+        with pytest.raises(RuntimeError, match="not the .*proposal"):
+            agent.observe(other, 1.0)
+
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_invalid_proposals_are_impossible(self, name):
+        space = _toy_space()
+        agent = make_agent(name, space, seed=3)
+        for _ in range(40):
+            candidate = agent.propose()
+            space.validate(candidate)  # raises on any invalid proposal
+            agent.observe(candidate, _toy_fitness(candidate))
+
+    def test_best_tracking_keeps_first_best_on_ties(self):
+        space = _toy_space()
+        agent = RandomWalkAgent(space, seed=1)
+        first = agent.propose()
+        agent.observe(first, 1.0)
+        second = agent.propose()
+        agent.observe(second, 1.0)  # tie: must NOT displace the first best
+        assert agent.best_candidate == first
+        assert agent.best_fitness == 1.0
+
+    def test_make_agent_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown agent"):
+            make_agent("simulated_annealing", _toy_space())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_same_seed_same_trajectory(self, name):
+        space = morpheus_policy_space()
+
+        def trajectory(seed):
+            agent = make_agent(name, space, seed=seed)
+            steps = []
+            for _ in range(30):
+                candidate = agent.propose()
+                fitness = sum(
+                    float(hash(str(v)) % 97) for v in candidate.values()
+                )
+                agent.observe(candidate, fitness)
+                steps.append(space.freeze(candidate))
+            return steps
+
+        assert trajectory(7) == trajectory(7)
+
+    @pytest.mark.parametrize("name", sorted(AGENT_TYPES))
+    def test_different_seeds_diverge(self, name):
+        space = morpheus_policy_space()
+
+        def proposals(seed):
+            agent = make_agent(name, space, seed=seed)
+            out = []
+            for _ in range(10):
+                candidate = agent.propose()
+                agent.observe(candidate, 0.0)
+                out.append(space.freeze(candidate))
+            return out
+
+        assert proposals(1) != proposals(2)
+
+
+class TestRandomWalk:
+    def test_climbs_toward_the_optimum(self):
+        space = _toy_space()
+        agent = RandomWalkAgent(space, seed=11)
+        for _ in range(150):
+            candidate = agent.propose()
+            agent.observe(candidate, _toy_fitness(candidate))
+        assert agent.best_fitness > 2.0  # max is 2.5; uniform mean is ~1.25
+
+    def test_explore_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkAgent(_toy_space(), explore_probability=1.5)
+
+
+class TestGenetic:
+    def test_constructor_validation(self):
+        space = _toy_space()
+        with pytest.raises(ValueError):
+            GeneticAgent(space, population_size=1)
+        with pytest.raises(ValueError):
+            GeneticAgent(space, population_size=4, elite_count=4)
+        with pytest.raises(ValueError):
+            GeneticAgent(space, tournament_size=0)
+        with pytest.raises(ValueError):
+            GeneticAgent(space, mutation_probability=2.0)
+
+    def test_elites_survive_breeding(self):
+        space = _toy_space()
+        agent = GeneticAgent(space, seed=5, population_size=6, elite_count=2)
+        scored = []
+        for _ in range(6):  # generation zero
+            candidate = agent.propose()
+            fitness = _toy_fitness(candidate)
+            agent.observe(candidate, fitness)
+            scored.append((candidate, fitness))
+        ranked = sorted(scored, key=lambda entry: entry[1], reverse=True)
+        next_generation = []
+        for _ in range(6):
+            candidate = agent.propose()
+            agent.observe(candidate, _toy_fitness(candidate))
+            next_generation.append(candidate)
+        assert agent.generation == 1
+        assert next_generation[0] == ranked[0][0]
+        assert next_generation[1] == ranked[1][0]
+
+    def test_improves_over_generations(self):
+        space = _toy_space()
+        agent = GeneticAgent(space, seed=9, population_size=8)
+        generation_best = []
+        for _ in range(5):
+            best = float("-inf")
+            for _ in range(8):
+                candidate = agent.propose()
+                fitness = _toy_fitness(candidate)
+                agent.observe(candidate, fitness)
+                best = max(best, fitness)
+            generation_best.append(best)
+        assert max(generation_best[2:]) >= generation_best[0]
+        assert agent.best_fitness > 1.8

@@ -1,0 +1,186 @@
+"""Simulation-backed search tests: determinism, cache contracts, telemetry.
+
+The satellite acceptance properties for ``repro/search``: a fixed-seed
+search replays the exact same trajectory through a fresh runner, a warm
+search performs **zero replay-tier misses** (score-tier-only), the envelope
+problem never touches the replay tier after its one measurement fetch, and
+every step is logged through the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from fidelity_utils import TINY_FIDELITY
+from repro.runner import ExperimentRunner
+from repro.search import (
+    EnvelopeSearchProblem,
+    GeneticAgent,
+    RandomWalkAgent,
+    ScenarioSearchProblem,
+    run_search,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.schema import iter_records, validate_directory
+
+STEPS = 16
+
+
+def _problem(cache_dir, **kwargs) -> ScenarioSearchProblem:
+    runner = ExperimentRunner(cache_dir=str(cache_dir), max_workers=0)
+    return ScenarioSearchProblem(runner=runner, fidelity=TINY_FIDELITY, **kwargs)
+
+
+def _trajectory(result):
+    return [(step.candidate, step.fitness) for step in result.steps]
+
+
+class TestScenarioSearch:
+    def test_fixed_seed_trajectories_are_deterministic(self, tmp_path):
+        cold = _problem(tmp_path / "cache")
+        cold_result = run_search(cold, GeneticAgent(cold.space, seed=7), STEPS)
+
+        warm = _problem(tmp_path / "cache")  # fresh runner, same cache dir
+        warm_result = run_search(warm, GeneticAgent(warm.space, seed=7), STEPS)
+
+        assert _trajectory(cold_result) == _trajectory(warm_result)
+        assert cold_result.best_candidate == warm_result.best_candidate
+        assert cold_result.best_fitness == warm_result.best_fitness
+
+    def test_warm_search_has_zero_replay_tier_misses(self, tmp_path):
+        cold = _problem(tmp_path / "cache")
+        run_search(cold, RandomWalkAgent(cold.space, seed=3), STEPS)
+        assert cold.runner.replays > 0  # the cold pass actually paid
+
+        warm = _problem(tmp_path / "cache")
+        result = run_search(warm, RandomWalkAgent(warm.space, seed=3), STEPS)
+        assert warm.runner.replays == 0
+        assert warm.runner.disk_cache.replay_misses == 0
+        assert math.isfinite(result.best_fitness)
+
+    def test_baseline_is_the_hand_tuned_default(self, tmp_path):
+        problem = _problem(tmp_path / "cache")
+        baseline = problem.baseline()
+        assert baseline.candidate == {}
+        assert math.isfinite(baseline.fitness) and baseline.fitness > 0
+        # The references are the default policy's solo IPCs, so the baseline
+        # fitness is exactly the hand-tuned configuration's weighted speedup.
+        assert baseline.fitness == pytest.approx(
+            baseline.metrics["weighted_speedup"]
+        )
+
+    def test_policy_lowering(self, tmp_path):
+        problem = _problem(tmp_path / "cache")
+        candidate = {
+            "pool_cap_sms": 12,
+            "hysteresis_sms": 4,
+            "arbitration": "sensitivity",
+            "predictor": "perfect",
+            "dirty_fraction": 0.25,
+            "warmup_fill_fraction": 0.5,
+            "flush_bandwidth_gbps_per_sm": 20.0,
+        }
+        policy = problem.policy_for(candidate)
+        assert policy.pool_cap_sms == 12
+        assert policy.hysteresis_sms == 4
+        assert policy.arbitration == "sensitivity"
+        model = problem.transition_model_for(candidate)
+        assert model.dirty_fraction == 0.25
+        assert model.warmup_fill_fraction == 0.5
+        assert model.flush_bandwidth_gbps_per_sm == 20.0
+
+    def test_shared_memo_makes_repeat_searches_free(self, tmp_path):
+        problem = _problem(tmp_path / "cache")
+        memo = {}
+        first = run_search(
+            problem, RandomWalkAgent(problem.space, seed=5), STEPS, memo=memo
+        )
+        second = run_search(
+            problem, RandomWalkAgent(problem.space, seed=5), STEPS, memo=memo
+        )
+        assert first.evaluations > 0
+        assert second.evaluations == 0
+        assert second.memo_hits == STEPS
+        assert second.memo_hit_rate == 1.0
+
+    def test_run_search_rejects_nonpositive_steps(self, tmp_path):
+        problem = _problem(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            run_search(problem, RandomWalkAgent(problem.space, seed=0), 0)
+
+    def test_convergence_is_monotone(self, tmp_path):
+        problem = _problem(tmp_path / "cache")
+        result = run_search(problem, GeneticAgent(problem.space, seed=2), STEPS)
+        trace = result.convergence()
+        assert len(trace) == STEPS
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == result.best_fitness
+
+    def test_result_report_is_jsonable(self, tmp_path):
+        import json
+
+        problem = _problem(tmp_path / "cache")
+        baseline = problem.baseline()
+        result = run_search(
+            problem, RandomWalkAgent(problem.space, seed=1), 4, baseline=baseline
+        )
+        payload = json.loads(json.dumps(result.to_jsonable()))
+        assert payload["agent"] == "random_walk"
+        assert payload["baseline_fitness"] == baseline.fitness
+        assert len(payload["convergence"]) == 4
+
+
+class TestEnvelopeSearch:
+    def test_score_tier_only_after_the_measurement_fetch(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"), max_workers=0)
+        problem = EnvelopeSearchProblem(runner=runner, fidelity=TINY_FIDELITY)
+        baseline = problem.baseline()  # pays the single replay
+        replays_after_baseline = runner.replays
+        result = run_search(
+            problem, RandomWalkAgent(problem.space, seed=4), 25, baseline=baseline
+        )
+        assert runner.replays == replays_after_baseline
+        assert result.best_fitness >= baseline.fitness
+
+    def test_budget_overrun_is_penalized(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"), max_workers=0)
+        problem = EnvelopeSearchProblem(
+            runner=runner, fidelity=TINY_FIDELITY, budget=2.2, penalty=2.0
+        )
+        greedy = {
+            "dram_bandwidth_share": 1.0,
+            "llc_bandwidth_share": 1.0,
+            "noc_bandwidth_share": 1.0,
+        }
+        evaluation = problem.evaluate(greedy)
+        assert evaluation.metrics["budget_overrun"] == pytest.approx(0.8)
+        assert evaluation.fitness == pytest.approx(
+            evaluation.metrics["ipc"] - 2.0 * 0.8
+        )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EnvelopeSearchProblem(budget=0.0)
+        with pytest.raises(ValueError):
+            EnvelopeSearchProblem(penalty=-1.0)
+
+
+class TestTelemetryIntegration:
+    def test_every_step_emits_a_span_and_the_trace_validates(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        with Telemetry(directory=trace_dir, enabled=True):
+            problem = _problem(tmp_path / "cache")
+            run_search(problem, RandomWalkAgent(problem.space, seed=6), 5)
+        files, errors = validate_directory(trace_dir)
+        assert files > 0 and not errors
+        spans = [
+            record
+            for path in sorted(trace_dir.glob("events-*.jsonl"))
+            for _, record in iter_records(path)
+            if record.get("type") == "span" and record.get("name") == "search.step"
+        ]
+        assert len(spans) == 5
+        assert {span["attrs"]["agent"] for span in spans} == {"random_walk"}
+        assert sorted(span["attrs"]["step"] for span in spans) == list(range(5))

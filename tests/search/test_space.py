@@ -1,0 +1,189 @@
+"""Unit tests for the search-space axes and genetic primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.search import (
+    CategoricalAxis,
+    FloatAxis,
+    IntAxis,
+    SearchSpace,
+    envelope_space,
+    morpheus_policy_space,
+)
+
+
+class TestIntAxis:
+    def test_sample_stays_on_grid(self):
+        axis = IntAxis("pool", low=4, high=48, step=4)
+        rng = random.Random(0)
+        for _ in range(200):
+            value = axis.sample(rng)
+            axis.validate(value)
+            assert 4 <= value <= 48 and (value - 4) % 4 == 0
+
+    def test_mutate_changes_value_and_stays_valid(self):
+        axis = IntAxis("pool", low=0, high=8, step=2)
+        rng = random.Random(1)
+        for value in range(0, 10, 2):
+            for _ in range(50):
+                moved = axis.mutate(value, rng)
+                axis.validate(moved)
+                assert moved != value
+
+    def test_single_value_axis(self):
+        axis = IntAxis("only", low=3, high=3)
+        assert axis.mutate(3, random.Random(0)) == 3
+
+    def test_validation_errors(self):
+        axis = IntAxis("pool", low=4, high=48, step=4)
+        with pytest.raises(ValueError):
+            axis.validate(5)  # off grid
+        with pytest.raises(ValueError):
+            axis.validate(52)  # out of range
+        with pytest.raises(ValueError):
+            axis.validate(True)  # bools are not ints here
+        with pytest.raises(ValueError):
+            axis.validate(8.0)  # floats rejected
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntAxis("bad", low=10, high=4)
+        with pytest.raises(ValueError):
+            IntAxis("bad", low=0, high=10, step=3)  # high off the step grid
+        with pytest.raises(ValueError):
+            IntAxis("bad", low=0, high=10, step=0)
+
+
+class TestFloatAxis:
+    def test_sample_and_mutate_stay_in_interval(self):
+        axis = FloatAxis("share", low=0.2, high=1.0)
+        rng = random.Random(2)
+        for _ in range(200):
+            value = axis.sample(rng)
+            assert 0.2 <= value <= 1.0
+            moved = axis.mutate(value, rng)
+            assert 0.2 <= moved <= 1.0
+
+    def test_validation_errors(self):
+        axis = FloatAxis("share", low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            axis.validate(1.5)
+        with pytest.raises(ValueError):
+            axis.validate("0.5")
+        with pytest.raises(ValueError):
+            FloatAxis("bad", low=1.0, high=1.0)
+
+
+class TestCategoricalAxis:
+    def test_mutate_picks_a_different_choice(self):
+        axis = CategoricalAxis("mode", choices=("a", "b", "c"))
+        rng = random.Random(3)
+        for _ in range(60):
+            assert axis.mutate("a", rng) in ("b", "c")
+
+    def test_single_choice_is_fixed_point(self):
+        axis = CategoricalAxis("mode", choices=("only",))
+        assert axis.mutate("only", random.Random(0)) == "only"
+
+    def test_validation(self):
+        axis = CategoricalAxis("mode", choices=("a", "b"))
+        with pytest.raises(ValueError):
+            axis.validate("z")
+        with pytest.raises(ValueError):
+            CategoricalAxis("bad", choices=())
+        with pytest.raises(ValueError):
+            CategoricalAxis("bad", choices=("a", "a"))
+
+
+class TestSearchSpace:
+    def _space(self) -> SearchSpace:
+        return SearchSpace(
+            [
+                IntAxis("pool", low=4, high=16, step=4),
+                FloatAxis("frac", low=0.0, high=1.0),
+                CategoricalAxis("mode", choices=("x", "y")),
+            ]
+        )
+
+    def test_construction_errors(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+        with pytest.raises(ValueError):
+            SearchSpace([IntAxis("a", 0, 1), IntAxis("a", 0, 1)])
+
+    def test_sample_is_deterministic_under_a_seed(self):
+        space = self._space()
+        first = [space.sample(random.Random(9)) for _ in range(5)]
+        second = [space.sample(random.Random(9)) for _ in range(5)]
+        assert first == second
+
+    def test_validate_rejects_missing_and_unknown_axes(self):
+        space = self._space()
+        candidate = space.sample(random.Random(0))
+        with pytest.raises(ValueError, match="missing"):
+            space.validate({k: v for k, v in candidate.items() if k != "pool"})
+        with pytest.raises(ValueError, match="unknown"):
+            space.validate({**candidate, "extra": 1})
+
+    def test_mutate_changes_at_least_one_axis(self):
+        space = self._space()
+        rng = random.Random(4)
+        candidate = space.sample(rng)
+        for _ in range(50):
+            mutated = space.mutate(candidate, rng)
+            space.validate(mutated)
+            assert mutated != candidate
+
+    def test_crossover_inherits_every_gene_from_a_parent(self):
+        space = self._space()
+        rng = random.Random(5)
+        first = space.sample(rng)
+        second = space.sample(rng)
+        for _ in range(30):
+            child = space.crossover(first, second, rng)
+            space.validate(child)
+            for name in space.names:
+                assert child[name] in (first[name], second[name])
+
+    def test_freeze_is_axis_ordered_and_hashable(self):
+        space = self._space()
+        candidate = space.sample(random.Random(6))
+        frozen = space.freeze(candidate)
+        assert [name for name, _ in frozen] == list(space.names)
+        assert frozen == space.freeze(dict(reversed(list(candidate.items()))))
+        assert hash(frozen) == hash(space.freeze(candidate))
+
+    def test_axis_lookup(self):
+        space = self._space()
+        assert space.axis("pool").name == "pool"
+        with pytest.raises(KeyError):
+            space.axis("nope")
+
+
+class TestDefaultSpaces:
+    def test_morpheus_policy_space_axes(self):
+        space = morpheus_policy_space()
+        assert set(space.names) == {
+            "pool_cap_sms",
+            "hysteresis_sms",
+            "arbitration",
+            "predictor",
+            "dirty_fraction",
+            "warmup_fill_fraction",
+            "flush_bandwidth_gbps_per_sm",
+        }
+        # The split-point axis must stay under the architectural cap.
+        pool = space.axis("pool_cap_sms")
+        assert pool.high <= 51  # 75% of the RTX 3080's 68 SMs
+
+    def test_envelope_space_axes(self):
+        space = envelope_space()
+        assert set(space.names) == {
+            "dram_bandwidth_share",
+            "llc_bandwidth_share",
+            "noc_bandwidth_share",
+        }

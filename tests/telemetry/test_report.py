@@ -148,4 +148,20 @@ class TestPercentile:
         values = [4.0, 1.0, 3.0, 2.0]
         assert percentile(values, 0.0) == 1.0
         assert percentile(values, 1.0) == 4.0
-        assert percentile(values, 0.5) == 3.0  # round(0.5 * 3) = 2 -> third value
+        assert percentile(values, 0.5) == 2.0  # ceil(0.5 * 4) - 1 = 1 -> second value
+        assert percentile(values, 0.75) == 3.0
+        assert percentile(values, 0.76) == 4.0
+
+    def test_nearest_rank_one_to_hundred(self):
+        # Regression: the old round(fraction * (n - 1)) formula returned 51.0
+        # here (banker's rounding on an even-length sample).
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.5) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
