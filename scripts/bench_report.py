@@ -21,11 +21,17 @@ honestly reports ~1.0x; CI's multi-core runners show the real scaling).
 and in-loop memo hit rates, with the zero-replay-miss contract asserted —
 and writes ``BENCH_search.json``.
 
+``--benchmark scenarios`` times a 5,000-phase ``fleet`` timeline through
+the scenario engine with phase-signature dedup on and off (fresh cache per
+mode): cold and warm wall-clock, the dedup hit rate, per-mode peak traced
+memory of a warm run plus process peak RSS, with per-phase bit-identity
+between the two modes asserted.  Results land in ``BENCH_scenarios.json``.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py
-        [--benchmark scoring|runner|search] [--smoke] [--points N]
-        [--workers N] [--repeats N] [--steps N] [--output FILE]
+        [--benchmark scoring|runner|search|scenarios] [--smoke] [--points N]
+        [--workers N] [--repeats N] [--steps N] [--phases N] [--output FILE]
 
 ``--smoke`` shrinks the trace and repeat counts so the whole script runs in
 a few seconds (the CI configuration); the scoring grid keeps >= 64 points
@@ -341,11 +347,132 @@ def benchmark_search(fidelity: Fidelity, steps: int, seed: int, agent_name: str)
     }
 
 
+def benchmark_scenarios(fidelity: Fidelity, phases: int, warm_repeats: int):
+    """Fleet-scale scenario engine: phase-signature dedup on vs off.
+
+    A seeded ``fleet`` timeline of ``phases`` phases runs through the
+    scenario engine twice — once with ``phase_dedup=False`` (the per-phase
+    reference path) and once with the signature-dedup path — each in its
+    own fresh cache directory.  For each mode the cold run and ``warm_repeats``
+    warm runs (fresh runner sharing the cache, zero replay-tier traffic
+    asserted) are timed, and one extra untimed warm run is traced with
+    ``tracemalloc`` to capture the peak allocated memory of loading the
+    timeline plus folding it through the streaming
+    :class:`~repro.analysis.scenarios.ScenarioAccumulator`.  Bit-identity of
+    every per-phase execution across the two modes is asserted before any
+    number is reported.
+    """
+    import hashlib
+    import resource
+    import tracemalloc
+
+    from repro.analysis.scenarios import ScenarioAccumulator
+    from repro.scenarios import ScenarioEngine, fleet
+
+    scenario = fleet(num_phases=phases, seed=7)
+    system = "Morpheus-Basic"
+
+    def phase_digest(result):
+        hasher = hashlib.sha256()
+        for execution in result.phases:
+            hasher.update(repr(dataclasses.asdict(execution)).encode("utf-8"))
+        return hasher.hexdigest()
+
+    def run_mode(dedup: bool):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-scen-") as cache_dir:
+            started = time.perf_counter()
+            runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+            engine = ScenarioEngine(
+                runner=runner, fidelity=fidelity, phase_dedup=dedup
+            )
+            cold_result = engine.run(scenario, system)
+            cold_seconds = time.perf_counter() - started
+
+            warm_samples = []
+            for _ in range(warm_repeats):
+                runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+                engine = ScenarioEngine(
+                    runner=runner, fidelity=fidelity, phase_dedup=dedup
+                )
+                started = time.perf_counter()
+                warm_result = engine.run(scenario, system)
+                warm_samples.append(time.perf_counter() - started)
+                if runner.replays or runner.disk_cache.replay_misses:
+                    raise AssertionError(
+                        f"warm scenario run (dedup={dedup}) touched the replay "
+                        f"tier ({runner.replays} replays, "
+                        f"{runner.disk_cache.replay_misses} misses)"
+                    )
+
+            # Peak allocated memory of the steady-state consumer path: load
+            # the warm timeline and fold it straight into running aggregates.
+            runner = ExperimentRunner(cache_dir=cache_dir, max_workers=0)
+            engine = ScenarioEngine(
+                runner=runner, fidelity=fidelity, phase_dedup=dedup
+            )
+            tracemalloc.start()
+            traced_result = engine.run(scenario, system)
+            aggregates = ScenarioAccumulator.from_result(traced_result).aggregates()
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+        digest = phase_digest(warm_result)
+        if phase_digest(cold_result) != digest:
+            raise AssertionError(
+                f"warm scenario reload (dedup={dedup}) diverged from the cold "
+                "run — the persistence round-trip is not bit-identical"
+            )
+        return {
+            "cold_result": cold_result,
+            "aggregates": aggregates,
+            "digest": digest,
+            "stats": {
+                "cold_seconds": cold_seconds,
+                "warm_seconds": min(warm_samples),
+                "warm_seconds_median": statistics.median(warm_samples),
+                "warm_peak_traced_mib": peak_bytes / (1024.0 * 1024.0),
+            },
+        }
+
+    per_phase = run_mode(False)
+    dedup = run_mode(True)
+
+    if per_phase["digest"] != dedup["digest"]:
+        raise AssertionError(
+            "signature-dedup timeline diverged from the per-phase reference "
+            "path — the bit-identity contract is broken"
+        )
+    if per_phase["aggregates"] != dedup["aggregates"]:
+        raise AssertionError(
+            "streaming aggregates diverged between the dedup and per-phase "
+            "modes — the bit-identity contract is broken"
+        )
+
+    signatures = len(dedup["cold_result"].signatures)
+    dedup_hits = dedup["cold_result"].dedup_hits
+    per_phase_stats = per_phase["stats"]
+    dedup_stats = dedup["stats"]
+    return {
+        "phases": phases,
+        "signatures": signatures,
+        "dedup_hits": dedup_hits,
+        "dedup_hit_rate": dedup_hits / phases,
+        "warm_repeats": warm_repeats,
+        "per_phase": per_phase_stats,
+        "dedup": dedup_stats,
+        "cold_speedup": per_phase_stats["cold_seconds"] / dedup_stats["cold_seconds"],
+        "warm_speedup": per_phase_stats["warm_seconds"] / dedup_stats["warm_seconds"],
+        "peak_rss_mib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        "bit_identical": True,
+        "replay_misses_warm": 0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--benchmark",
-        choices=("scoring", "runner", "search"),
+        choices=("scoring", "runner", "search", "scenarios"),
         default="scoring",
         help="which benchmark to run (default: scoring)",
     )
@@ -380,6 +507,12 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="search: steps in the timed search (default 200; 40 with --smoke)",
+    )
+    parser.add_argument(
+        "--phases",
+        type=int,
+        default=None,
+        help="scenarios: fleet timeline length (default 5000; 600 with --smoke)",
     )
     parser.add_argument(
         "--output",
@@ -436,6 +569,18 @@ def main(argv=None) -> int:
                 "smoke": args.smoke,
                 "warm_search": benchmark_search(
                     fidelity, steps, seed=7, agent_name="genetic"
+                ),
+            }
+        elif args.benchmark == "scenarios":
+            phases = args.phases if args.phases is not None else (600 if args.smoke else 5000)
+            if phases < 1:
+                parser.error("--phases must be >= 1")
+            warm_repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 3)
+            report = {
+                "benchmark": "scenarios",
+                "smoke": args.smoke,
+                "fleet_dedup": benchmark_scenarios(
+                    fidelity, phases, max(1, warm_repeats)
                 ),
             }
         elif args.benchmark == "runner":
@@ -500,6 +645,16 @@ def main(argv=None) -> int:
             f"{warm['steps']} steps (scenario-tier hit rate "
             f"{warm['scenario_tier_hit_rate']:.2%}, memo hit rate "
             f"{warm['memo_hit_rate']:.2%}, zero replay misses)",
+            file=sys.stderr,
+        )
+    elif args.benchmark == "scenarios":
+        fleet_report = report["fleet_dedup"]
+        print(
+            f"\nfleet dedup: {fleet_report['warm_speedup']:.1f}x warm over the "
+            f"per-phase path ({fleet_report['phases']} phases -> "
+            f"{fleet_report['signatures']} signatures, "
+            f"{fleet_report['dedup_hit_rate']:.2%} dedup hit rate, "
+            f"cold {fleet_report['cold_speedup']:.2f}x, bit-identical)",
             file=sys.stderr,
         )
     elif args.benchmark == "runner":

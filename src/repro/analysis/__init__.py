@@ -16,18 +16,27 @@ from repro.analysis.rescoring import (
     peak_ipc_sweep,
 )
 from repro.analysis.scenarios import (
+    ScenarioAccumulator,
+    ScenarioAggregates,
+    SlowdownStats,
     TransitionOverheads,
     compare_runs,
+    phase_slowdowns,
     phase_table,
     scenario_energy_j,
+    slowdown_stats,
     time_weighted_ipc,
     transition_overheads,
+    weighted_percentile,
 )
 from repro.analysis.sweep import llc_scaling_sweep, sm_count_sweep
 
 __all__ = [
     "LatencyBreakdown",
     "MorpheusOverheads",
+    "ScenarioAccumulator",
+    "ScenarioAggregates",
+    "SlowdownStats",
     "TransitionOverheads",
     "analytic_grid",
     "compare_runs",
@@ -42,10 +51,13 @@ __all__ = [
     "normalize",
     "normalized_series",
     "peak_ipc_sweep",
+    "phase_slowdowns",
     "phase_table",
     "scenario_energy_j",
+    "slowdown_stats",
     "sm_count_sweep",
     "speedup",
     "time_weighted_ipc",
     "transition_overheads",
+    "weighted_percentile",
 ]

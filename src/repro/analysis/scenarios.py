@@ -19,7 +19,12 @@ turns that into the timeline-level numbers the scenario studies report:
   extended-LLC-grant component and the shared-bandwidth-interference
   component, with transitions reported separately);
 * :func:`phase_table` / :func:`corun_table` / :func:`compare_runs` —
-  human-readable reports.
+  human-readable reports;
+* :class:`ScenarioAccumulator` — a **streaming** fold of the same
+  aggregates: one pass over ``result.phases`` in timeline order, O(distinct
+  signatures) running state, bit-identical to the list-based functions
+  above, plus weighted p50/p95/p99 per-application phase-slowdown
+  percentiles for fleet SLA reporting.
 
 Everything here is pure post-processing of already-cached leaf results:
 re-running an analysis never touches the replay tier.
@@ -28,11 +33,12 @@ re-running an analysis never touches the replay tier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.report import format_table
 from repro.energy.components import ComponentEnergies, DEFAULT_ENERGIES
-from repro.scenarios.engine import ScenarioRunResult
+from repro.scenarios.engine import PhaseExecution, ScenarioRunResult
+from repro.scenarios.spec import ScenarioSpec
 
 _PJ_TO_J = 1e-12
 
@@ -466,6 +472,331 @@ def corun_table(
         rows,
         title=title,
     )
+
+
+# -- streaming aggregation -----------------------------------------------------------
+
+
+def _grouped_weights(
+    pairs: Union[Mapping[float, float], Iterable[Tuple[float, float]]],
+) -> Dict[float, float]:
+    """Group (value, weight) pairs into a value → total-weight mapping.
+
+    Weights of equal values are summed in input order, so grouping a raw
+    per-phase pair list produces bitwise the same totals as the
+    accumulator's incremental grouping.
+    """
+    if isinstance(pairs, Mapping):
+        return dict(pairs)
+    grouped: Dict[float, float] = {}
+    for value, weight in pairs:
+        grouped[value] = grouped.get(value, 0.0) + weight
+    return grouped
+
+
+def weighted_percentile(
+    pairs: Union[Mapping[float, float], Iterable[Tuple[float, float]]],
+    fraction: float,
+) -> float:
+    """Weighted nearest-rank percentile of (value, weight) pairs.
+
+    The smallest value whose cumulative weight (in ascending value order)
+    reaches ``fraction`` of the total weight — the weighted analogue of the
+    nearest-rank percentile the telemetry layer reports.  Accepts either a
+    raw pair iterable or an already-grouped value → weight mapping;
+    both produce identical results for the same underlying pairs.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    grouped = _grouped_weights(pairs)
+    values = sorted(grouped)
+    total = 0.0
+    for value in values:
+        total += grouped[value]
+    if not values or total <= 0.0:
+        return 0.0
+    threshold = fraction * total
+    cumulative = 0.0
+    for value in values:
+        cumulative += grouped[value]
+        if cumulative >= threshold:
+            return value
+    return values[-1]
+
+
+def phase_slowdowns(
+    result: ScenarioRunResult,
+    reference_ipc: Optional[Mapping[str, float]] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-application (slowdown, duration weight) pairs, in phase order.
+
+    A resident's phase slowdown is ``reference IPC / contended IPC`` —
+    how much slower the phase ran than its reference.  With
+    ``reference_ipc`` (solo references from
+    :meth:`~repro.scenarios.engine.ScenarioEngine.solo_reference_ipcs`)
+    the slowdown is relative to running alone; without it, relative to the
+    resident's own **uncontended** IPC, isolating shared-bandwidth
+    interference.  This is the O(phases) reference the streaming
+    accumulator's grouped slowdown state is tested against.
+    """
+    pairs: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in result.scenario.applications
+    }
+    for execution in result.phases:
+        weight = execution.phase.duration_weight
+        for resident in execution.residents:
+            reference = (
+                reference_ipc[resident.application]
+                if reference_ipc is not None
+                else resident.uncontended_ipc
+            )
+            ipc = resident.stats.ipc
+            slowdown = reference / ipc if ipc > 0.0 and reference > 0.0 else 0.0
+            pairs[resident.application].append((slowdown, weight))
+    return pairs
+
+
+@dataclass(frozen=True)
+class SlowdownStats:
+    """Weighted phase-slowdown percentiles of one application.
+
+    Attributes:
+        application: The application name.
+        weight: Total duration weight of the phases it was resident in.
+        p50/p95/p99: Weighted nearest-rank percentiles of its per-phase
+            slowdown (see :func:`phase_slowdowns`) — the fleet SLA view:
+            p99 is the slowdown its worst 1% of resident time exceeded.
+        max: The worst per-phase slowdown.
+    """
+
+    application: str
+    weight: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+def slowdown_stats(
+    application: str,
+    pairs: Union[Mapping[float, float], Iterable[Tuple[float, float]]],
+) -> SlowdownStats:
+    """Fold (slowdown, weight) pairs into :class:`SlowdownStats`."""
+    grouped = _grouped_weights(pairs)
+    values = sorted(grouped)
+    total = 0.0
+    for value in values:
+        total += grouped[value]
+    return SlowdownStats(
+        application=application,
+        weight=total,
+        p50=weighted_percentile(grouped, 0.50),
+        p95=weighted_percentile(grouped, 0.95),
+        p99=weighted_percentile(grouped, 0.99),
+        max=values[-1] if values else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioAggregates:
+    """Every timeline-level aggregate of one run, computed in one pass.
+
+    Field-for-field bit-identical to the list-based functions: matching
+    :func:`time_weighted_ipc`, :func:`scenario_energy_j`,
+    :func:`transition_overheads` and :func:`per_app_timelines`, plus the
+    per-application :class:`SlowdownStats` that only the streaming pass
+    provides.
+    """
+
+    phases: int
+    total_instructions: float
+    compute_cycles: float
+    transition_cycles: float
+    total_cycles: float
+    time_weighted_ipc: float
+    energy_j: float
+    transitions: TransitionOverheads
+    timelines: Dict[str, AppTimeline]
+    slowdowns: Dict[str, SlowdownStats]
+
+
+class ScenarioAccumulator:
+    """Streaming one-pass aggregation of a timeline run.
+
+    Feed phases **in timeline order** via :meth:`add` (float sums are
+    order-sensitive; phase order is what the list-based reductions use),
+    then read :meth:`aggregates`.  Running state is O(applications +
+    distinct slowdown values) — for a signature-deduplicated fleet run
+    that is O(signatures), never O(phases), so folding a lazy
+    :class:`~repro.scenarios.engine.SignaturePhases` view aggregates a
+    10k-phase timeline without ever materializing a 10k-element list.
+
+    ``reference_ipc`` selects the slowdown reference exactly as in
+    :func:`phase_slowdowns`; every other aggregate ignores it.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        energies: ComponentEnergies = DEFAULT_ENERGIES,
+        reference_ipc: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self._scenario = scenario
+        self._energies = energies
+        self._reference_ipc = reference_ipc
+        order = scenario.applications
+        self._phases = 0
+        self._instructions = 0.0
+        self._compute_cycles = 0.0
+        self._transition_cycles = 0.0
+        self._transitions = 0
+        self._flush_cycles = 0.0
+        self._warmup_cycles = 0.0
+        self._flushed = 0.0
+        self._filled = 0.0
+        self._energy = 0.0
+        self._app_instructions = {name: 0.0 for name in order}
+        self._app_resident_cycles = {name: 0.0 for name in order}
+        self._app_transition_cycles = {name: 0.0 for name in order}
+        self._app_weighted_ipc = {name: 0.0 for name in order}
+        self._app_weighted_uncontended_ipc = {name: 0.0 for name in order}
+        self._app_resident_weight = {name: 0.0 for name in order}
+        self._app_compute_sm_cycles = {name: 0.0 for name in order}
+        self._app_cache_sm_cycles = {name: 0.0 for name in order}
+        self._slowdowns: Dict[str, Dict[float, float]] = {
+            name: {} for name in order
+        }
+
+    def add(self, execution: PhaseExecution) -> None:
+        """Fold one phase into the running aggregates."""
+        self._phases += 1
+        self._instructions += execution.instructions
+        self._compute_cycles += execution.compute_cycles
+        cost = execution.decision.transition
+        stall = cost.total_cycles
+        self._transition_cycles += stall
+        if not cost.is_zero:
+            self._transitions += 1
+            self._flush_cycles += cost.flush_cycles
+            self._warmup_cycles += cost.warmup_cycles
+            self._flushed += cost.flushed_dirty_bytes
+            self._filled += cost.warmup_fill_bytes
+        cycles = execution.cycles
+        weight = execution.phase.duration_weight
+        for resident in execution.residents:
+            name = resident.application
+            breakdown = resident.stats.energy
+            if breakdown is not None and resident.stats.instructions > 0:
+                scale = resident.instructions / resident.stats.instructions
+                self._energy += breakdown.total_j * scale
+            self._app_instructions[name] += resident.instructions
+            self._app_resident_cycles[name] += cycles
+            self._app_transition_cycles[name] += stall
+            self._app_weighted_ipc[name] += weight * resident.stats.ipc
+            self._app_weighted_uncontended_ipc[name] += (
+                weight * resident.uncontended_ipc
+            )
+            self._app_resident_weight[name] += weight
+            self._app_compute_sm_cycles[name] += (
+                resident.grant.compute_sms * cycles
+            )
+            self._app_cache_sm_cycles[name] += resident.grant.cache_sms * cycles
+            reference = (
+                self._reference_ipc[name]
+                if self._reference_ipc is not None
+                else resident.uncontended_ipc
+            )
+            ipc = resident.stats.ipc
+            slowdown = (
+                reference / ipc if ipc > 0.0 and reference > 0.0 else 0.0
+            )
+            grouped = self._slowdowns[name]
+            grouped[slowdown] = grouped.get(slowdown, 0.0) + weight
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ScenarioRunResult,
+        energies: ComponentEnergies = DEFAULT_ENERGIES,
+        reference_ipc: Optional[Mapping[str, float]] = None,
+    ) -> "ScenarioAccumulator":
+        """Fold every phase of ``result`` (lazily — one phase at a time)."""
+        accumulator = cls(
+            result.scenario, energies=energies, reference_ipc=reference_ipc
+        )
+        for execution in result.phases:
+            accumulator.add(execution)
+        return accumulator
+
+    def aggregates(self) -> ScenarioAggregates:
+        """The aggregates of everything folded so far."""
+        total_cycles = self._compute_cycles + self._transition_cycles
+        overhead_cycles = self._flush_cycles + self._warmup_cycles
+        transitions = TransitionOverheads(
+            transitions=self._transitions,
+            flush_cycles=self._flush_cycles,
+            warmup_cycles=self._warmup_cycles,
+            flushed_dirty_bytes=self._flushed,
+            warmup_fill_bytes=self._filled,
+            dram_energy_j=(
+                (self._flushed + self._filled)
+                * self._energies.dram_pj_per_byte
+                * _PJ_TO_J
+            ),
+            overhead_fraction=(
+                overhead_cycles / total_cycles if total_cycles > 0 else 0.0
+            ),
+        )
+        timelines = {}
+        for name in self._scenario.applications:
+            cycles = self._app_resident_cycles[name]
+            weight = self._app_resident_weight[name]
+            timelines[name] = AppTimeline(
+                application=name,
+                instructions=self._app_instructions[name],
+                resident_cycles=cycles,
+                transition_cycles=self._app_transition_cycles[name],
+                ipc=(
+                    self._app_instructions[name] / cycles
+                    if cycles > 0
+                    else 0.0
+                ),
+                slice_ipc=(
+                    self._app_weighted_ipc[name] / weight if weight > 0 else 0.0
+                ),
+                uncontended_slice_ipc=(
+                    self._app_weighted_uncontended_ipc[name] / weight
+                    if weight > 0
+                    else 0.0
+                ),
+                mean_compute_sms=(
+                    self._app_compute_sm_cycles[name] / cycles
+                    if cycles > 0
+                    else 0.0
+                ),
+                mean_cache_sms=(
+                    self._app_cache_sm_cycles[name] / cycles
+                    if cycles > 0
+                    else 0.0
+                ),
+            )
+        return ScenarioAggregates(
+            phases=self._phases,
+            total_instructions=self._instructions,
+            compute_cycles=self._compute_cycles,
+            transition_cycles=self._transition_cycles,
+            total_cycles=total_cycles,
+            time_weighted_ipc=(
+                self._instructions / total_cycles if total_cycles > 0 else 0.0
+            ),
+            energy_j=self._energy + transitions.dram_energy_j,
+            transitions=transitions,
+            timelines=timelines,
+            slowdowns={
+                name: slowdown_stats(name, self._slowdowns[name])
+                for name in self._scenario.applications
+            },
+        )
 
 
 def compare_runs(

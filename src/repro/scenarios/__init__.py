@@ -18,21 +18,26 @@ from repro.scenarios.contention import (
     PhaseContentionSolution,
     proportional_pressure_shares,
     solve_phase_contention,
+    solve_scenario_contention,
 )
 from repro.scenarios.engine import (
     LoweredLeaf,
     LoweredPhase,
     PhaseExecution,
+    PhaseSignature,
     ResidentExecution,
     SCENARIO_SYSTEMS,
     ScenarioEngine,
     ScenarioRunResult,
+    SignatureExecution,
+    SignaturePhases,
 )
 from repro.scenarios.library import (
     SCENARIO_LIBRARY,
     bursty,
     corun_overlap,
     corun_pair,
+    fleet,
     get_scenario,
     mixed_tenancy,
     ramp,
@@ -74,6 +79,7 @@ __all__ = [
     "NO_TRANSITION",
     "PhaseDecision",
     "PhaseExecution",
+    "PhaseSignature",
     "Residency",
     "ResidentExecution",
     "ResidentGrant",
@@ -84,6 +90,8 @@ __all__ = [
     "ScenarioPhase",
     "ScenarioRunResult",
     "ScenarioSpec",
+    "SignatureExecution",
+    "SignaturePhases",
     "TransitionCost",
     "TransitionCostModel",
     "arbitrate_extended_llc",
@@ -92,6 +100,7 @@ __all__ = [
     "contended_llc_sensitivity",
     "corun_overlap",
     "corun_pair",
+    "fleet",
     "get_scenario",
     "grant_transition",
     "llc_capacity_sensitivity",
@@ -100,5 +109,6 @@ __all__ = [
     "proportional_pressure_shares",
     "ramp",
     "solve_phase_contention",
+    "solve_scenario_contention",
     "steady",
 ]

@@ -30,6 +30,7 @@ contention costs nothing at the replay tier.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
 
@@ -253,3 +254,138 @@ def solve_phase_contention(
         iterations=iterations,
         converged=converged,
     )
+
+
+def solve_scenario_contention(
+    runner: "ExperimentRunner",
+    gpu: "GPUConfig",
+    groups: Sequence[
+        Tuple[
+            Sequence[Tuple["ApplicationProfile", "SimulationConfig"]],
+            Sequence[SimulationStats],
+        ]
+    ],
+    model: ContentionModel,
+) -> List[PhaseContentionSolution]:
+    """Solve many distinct co-run signatures' contention as one batch.
+
+    ``groups`` holds one ``(leaves, uncontended)`` pair per *distinct*
+    phase signature of a timeline (thousands of phases collapse to tens of
+    groups).  The iteration arithmetic per group is exactly
+    :func:`solve_phase_contention`'s fast path — same damping, same share
+    clamps, same scoring order — so the solutions are bit-identical to
+    solving each group on its own.  What the batch changes is the work
+    around the arithmetic:
+
+    * the per-leaf replay measurements and precomputed
+      :class:`~repro.sim.vector_model.MeasurementScorer`\\ s are hoisted
+      **across groups** — a leaf shared by several signatures builds its
+      scorer once instead of once per solve;
+    * the converged contended configs of *every* group are persisted through
+      a single :meth:`~repro.runner.runner.ExperimentRunner.run_leaves`
+      batch, so their score-tier evaluations flow through the vectorized
+      ``score_batch`` path across signatures instead of one scalar call
+      per solve.
+
+    Each group's fixed-point wall time lands in the
+    ``scenario.signature_solve_seconds`` histogram.
+    """
+    tel = telemetry()
+    scorer_cache: Dict[
+        Tuple[str, "SimulationConfig"],
+        Tuple[object, object],
+    ] = {}
+
+    def hoisted(profile: "ApplicationProfile", config: "SimulationConfig"):
+        key = (profile.name, config)
+        entry = scorer_cache.get(key)
+        if entry is None:
+            measurement = runner.measurement_for(profile, config)
+            entry = (measurement, runner.scorer_for(profile, config, measurement))
+            scorer_cache[key] = entry
+        return entry
+
+    solutions: List[PhaseContentionSolution] = [None] * len(groups)  # type: ignore[list-item]
+    pending: List[Tuple[int, Tuple[ResourceEnvelope, ...], int, bool]] = []
+    contended_leaves: List[Tuple["ApplicationProfile", "SimulationConfig"]] = []
+    slices: List[Tuple[int, int]] = []
+    for group_index, (leaves, uncontended) in enumerate(groups):
+        count = len(leaves)
+        if count <= 1 or not model.enabled:
+            solutions[group_index] = PhaseContentionSolution(
+                stats=tuple(uncontended),
+                envelopes=tuple(DEFAULT_ENVELOPE for _ in range(count)),
+                uncontended=tuple(uncontended),
+                iterations=0,
+                converged=True,
+            )
+            continue
+        solve_start = time.perf_counter()
+        scorers = [hoisted(profile, config)[1] for profile, config in leaves]
+        shares = [
+            {channel: 1.0 for channel in SHARED_CHANNELS} for _ in range(count)
+        ]
+        stats: List[SimulationStats] = list(uncontended)
+        iterations = 0
+        converged = False
+        envelopes: Tuple[ResourceEnvelope, ...] = tuple(
+            DEFAULT_ENVELOPE for _ in range(count)
+        )
+        with tel.span("contention.solve", residents=count) as span:
+            for iterations in range(1, model.max_iterations + 1):
+                demands = [shared_bandwidth_demand(entry, gpu) for entry in stats]
+                targets = proportional_pressure_shares(demands)
+                movement = 0.0
+                for index in range(count):
+                    for channel in SHARED_CHANNELS:
+                        current = shares[index][channel]
+                        stepped = current + model.damping * (
+                            targets[index][channel] - current
+                        )
+                        stepped = min(1.0, max(MIN_SHARE, stepped))
+                        movement = max(movement, abs(stepped - current))
+                        shares[index][channel] = stepped
+                envelopes = tuple(
+                    _envelope(shares[index]) for index in range(count)
+                )
+                stats = [
+                    scorer.score_envelope(envelope)
+                    for scorer, envelope in zip(scorers, envelopes)
+                ]
+                if tel.enabled:
+                    tel.observe("contention.residual", movement)
+                if movement < model.tolerance:
+                    converged = True
+                    break
+            span.set(iterations=iterations, converged=converged)
+        if tel.enabled:
+            tel.observe("contention.iterations", iterations)
+            tel.observe(
+                "scenario.signature_solve_seconds",
+                time.perf_counter() - solve_start,
+            )
+        offset = len(contended_leaves)
+        contended_leaves.extend(
+            (profile, dataclasses.replace(config, envelope=envelope))
+            for (profile, config), envelope in zip(leaves, envelopes)
+        )
+        slices.append((offset, offset + count))
+        pending.append((group_index, envelopes, iterations, converged))
+    if pending:
+        # One cross-signature persistence batch: every group's converged
+        # contended configs are scored (and stored) together, so score-tier
+        # misses go through the vectorized batch path.  Scoring is pure, so
+        # the returned stats match what the last iterations computed.
+        final = runner.run_leaves(contended_leaves)
+        for (group_index, envelopes, iterations, converged), (lo, hi) in zip(
+            pending, slices
+        ):
+            _, uncontended = groups[group_index]
+            solutions[group_index] = PhaseContentionSolution(
+                stats=tuple(final[lo:hi]),
+                envelopes=envelopes,
+                uncontended=tuple(uncontended),
+                iterations=iterations,
+                converged=converged,
+            )
+    return solutions

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -46,6 +47,7 @@ from repro.scenarios.contention import (
     ContentionModel,
     PhaseContentionSolution,
     solve_phase_contention,
+    solve_scenario_contention,
 )
 from repro.scenarios.policy import (
     CapacityPolicy,
@@ -56,7 +58,12 @@ from repro.scenarios.policy import (
     TransitionCost,
     TransitionCostModel,
 )
-from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION, ScenarioPhase, ScenarioSpec
+from repro.scenarios.spec import (
+    Residency,
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioPhase,
+    ScenarioSpec,
+)
 from repro.sim.performance_model import DEFAULT_ENVELOPE, ResourceEnvelope
 from repro.telemetry import telemetry
 from repro.sim.simulator import SimulationConfig
@@ -180,16 +187,139 @@ class PhaseExecution:
         return self.compute_cycles + self.decision.transition.total_cycles
 
 
+@dataclass(frozen=True)
+class PhaseSignature:
+    """The canonical identity of a phase's execution.
+
+    Two phases with equal signatures — same residency list, same duration
+    weight, same planned split and per-resident grants — lower to the same
+    leaves, solve the same contention fixed point and retire the same
+    instruction budget, so the engine computes their execution **once** and
+    reuses it.  A fleet timeline has thousands of phases but only tens of
+    signatures.
+
+    What the signature deliberately excludes: the phase ``label`` (labels
+    are cosmetic) and the transition *into* the phase (it depends on the
+    predecessor, so it is tracked per phase, not per signature).  The leaf
+    configs are a pure function of (grants, system, engine parameters), so
+    they need no separate entry.
+    """
+
+    residents: Tuple[Residency, ...]
+    duration_weight: float
+    split: MorpheusOperatingPoint
+    grants: Tuple[ResidentGrant, ...]
+
+
+@dataclass(frozen=True)
+class SignatureExecution:
+    """One distinct signature's solved execution, shared by its phases.
+
+    ``count`` is how many phases of the timeline bear this signature — the
+    run's dedup hits are ``sum(count) - len(signatures)``.
+    """
+
+    signature: PhaseSignature
+    residents: Tuple[ResidentExecution, ...]
+    instructions: float
+    compute_cycles: float
+    count: int
+
+
+class SignaturePhases(SequenceABC):
+    """Lazy per-phase view over a signature-deduplicated run.
+
+    Presents the familiar ``result.phases`` sequence of
+    :class:`PhaseExecution` while storing only O(signatures) state: the
+    distinct :class:`SignatureExecution` records, the interned transition
+    costs, and two int id arrays mapping each phase to its signature and
+    transition.  ``__getitem__`` materializes a ``PhaseExecution`` on
+    demand (bit-identical to what the per-phase path would have built);
+    iterating never holds more than one phase at a time, so streaming
+    consumers keep peak memory bounded by signatures, not phases.
+    """
+
+    __slots__ = (
+        "_scenario",
+        "_executions",
+        "_signature_ids",
+        "_transitions",
+        "_transition_ids",
+        "_decisions",
+    )
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        executions: Tuple[SignatureExecution, ...],
+        signature_ids: Tuple[int, ...],
+        transitions: Tuple[TransitionCost, ...],
+        transition_ids: Tuple[int, ...],
+    ) -> None:
+        if len(signature_ids) != len(transition_ids):
+            raise ValueError("signature/transition id arrays must align")
+        self._scenario = scenario
+        self._executions = executions
+        self._signature_ids = signature_ids
+        self._transitions = transitions
+        self._transition_ids = transition_ids
+        # (signature id, transition id) pairs are few; interning the
+        # PhaseDecision per pair keeps repeated access allocation-free.
+        self._decisions: Dict[Tuple[int, int], PhaseDecision] = {}
+
+    def __len__(self) -> int:
+        return len(self._signature_ids)
+
+    def _decision(self, signature_id: int, transition_id: int) -> PhaseDecision:
+        key = (signature_id, transition_id)
+        decision = self._decisions.get(key)
+        if decision is None:
+            signature = self._executions[signature_id].signature
+            decision = PhaseDecision(
+                split=signature.split,
+                transition=self._transitions[transition_id],
+                grants=signature.grants,
+            )
+            self._decisions[key] = decision
+        return decision
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("phase index out of range")
+        signature_id = self._signature_ids[index]
+        execution = self._executions[signature_id]
+        return PhaseExecution(
+            index=index,
+            phase=self._scenario.phases[index],
+            decision=self._decision(signature_id, self._transition_ids[index]),
+            residents=execution.residents,
+            instructions=execution.instructions,
+            compute_cycles=execution.compute_cycles,
+        )
+
+
 @dataclass
 class ScenarioRunResult:
-    """The full outcome of one (scenario, system, policy) timeline run."""
+    """The full outcome of one (scenario, system, policy) timeline run.
+
+    ``phases`` is a sequence of per-phase executions: a materialized tuple
+    on the per-phase path, or a lazy :class:`SignaturePhases` view on the
+    deduplicated path (same elements, O(signatures) memory).  When the run
+    was deduplicated, ``signatures`` additionally exposes the distinct
+    :class:`SignatureExecution` records (``None`` otherwise).
+    """
 
     scenario: ScenarioSpec
     system: str
     policy_name: str
-    phases: Tuple[PhaseExecution, ...]
+    phases: Sequence[PhaseExecution]
     run_key: str
     elapsed_seconds: float = 0.0
+    signatures: Optional[Tuple[SignatureExecution, ...]] = None
 
     def __len__(self) -> int:
         return len(self.phases)
@@ -216,6 +346,13 @@ class ScenarioRunResult:
         """End-to-end timeline cycles (compute + transitions)."""
         return self.compute_cycles + self.transition_cycles
 
+    @property
+    def dedup_hits(self) -> int:
+        """Phases served by an already-solved signature (0 on the per-phase path)."""
+        if self.signatures is None:
+            return 0
+        return len(self.phases) - len(self.signatures)
+
 
 class ScenarioEngine:
     """Lowers scenario timelines to leaf runs and executes them via the runner.
@@ -231,6 +368,13 @@ class ScenarioEngine:
         contention: Shared-bandwidth fixed-point solver knobs for co-run
             phases (see :class:`~repro.scenarios.contention.ContentionModel`);
             ``None`` uses the defaults.
+        phase_dedup: Deduplicate phases by :class:`PhaseSignature` on the
+            cold path, solving each distinct signature once (the default).
+            ``False`` keeps the per-phase path — same results, O(phases)
+            work and memory.  The flag is an execution-plan choice, not a
+            semantic one, so it is deliberately **not** part of
+            :meth:`run_key`: both modes read and write the same cache
+            entries and produce bit-identical executions.
     """
 
     def __init__(
@@ -242,6 +386,7 @@ class ScenarioEngine:
         transition_model: Optional[TransitionCostModel] = None,
         predictor: str = "bloom",
         contention: Optional[ContentionModel] = None,
+        phase_dedup: bool = True,
     ) -> None:
         self.runner = runner
         self.gpu = gpu
@@ -250,6 +395,7 @@ class ScenarioEngine:
         self.transition_model = transition_model or TransitionCostModel()
         self.predictor = predictor
         self.contention = contention or ContentionModel()
+        self.phase_dedup = phase_dedup
         self._solo_reference_memo: Dict[str, Dict[str, float]] = {}
 
     def _runner(self) -> ExperimentRunner:
@@ -257,6 +403,33 @@ class ScenarioEngine:
 
     def _profiles(self, scenario: ScenarioSpec) -> Dict[str, ApplicationProfile]:
         return {name: get_application(name) for name in scenario.applications}
+
+    def _validate_demands(self, scenario: ScenarioSpec) -> None:
+        for phase in scenario.phases:
+            if phase.total_compute_sm_demand > self.gpu.num_sms:
+                raise ValueError(
+                    f"phase {phase.describe()!r} demands "
+                    f"{phase.total_compute_sm_demand} SMs but the GPU has "
+                    f"{self.gpu.num_sms}"
+                )
+
+    def _leaf_config(
+        self, grant: ResidentGrant, morpheus: Optional[object], system: str
+    ) -> SimulationConfig:
+        """The leaf config one resident grant lowers to (pure function)."""
+        return SimulationConfig(
+            gpu=self.gpu,
+            morpheus=morpheus if grant.cache_sms > 0 else None,
+            num_compute_sms=grant.compute_sms,
+            num_cache_sms=grant.cache_sms,
+            power_gate_unused=system != "BL",
+            capacity_scale=self.fidelity.capacity_scale,
+            trace_accesses=self.fidelity.trace_accesses,
+            warmup_accesses=self.fidelity.warmup_accesses,
+            system_name=system,
+            replay_mode=self.fidelity.mode,
+            seed=self.seed,
+        )
 
     # -- lowering (pure) ---------------------------------------------------------------
 
@@ -275,13 +448,7 @@ class ScenarioEngine:
         policy planning plus config construction, benchmarked separately
         from the (cached) leaf simulations.
         """
-        for phase in scenario.phases:
-            if phase.total_compute_sm_demand > self.gpu.num_sms:
-                raise ValueError(
-                    f"phase {phase.describe()!r} demands "
-                    f"{phase.total_compute_sm_demand} SMs but the GPU has "
-                    f"{self.gpu.num_sms}"
-                )
+        self._validate_demands(scenario)
         profiles = self._profiles(scenario)
         with telemetry().span(
             "scenario.plan", system=system, phases=len(scenario.phases)
@@ -298,19 +465,7 @@ class ScenarioEngine:
                 leaves = tuple(
                     LoweredLeaf(
                         grant=grant,
-                        config=SimulationConfig(
-                            gpu=self.gpu,
-                            morpheus=morpheus if grant.cache_sms > 0 else None,
-                            num_compute_sms=grant.compute_sms,
-                            num_cache_sms=grant.cache_sms,
-                            power_gate_unused=system != "BL",
-                            capacity_scale=self.fidelity.capacity_scale,
-                            trace_accesses=self.fidelity.trace_accesses,
-                            warmup_accesses=self.fidelity.warmup_accesses,
-                            system_name=system,
-                            replay_mode=self.fidelity.mode,
-                            seed=self.seed,
-                        ),
+                        config=self._leaf_config(grant, morpheus, system),
                     )
                     for grant in grants
                 )
@@ -482,6 +637,224 @@ class ScenarioEngine:
         start: float,
     ) -> ScenarioRunResult:
         """The cold path of :meth:`run`: lower, execute, arbitrate, persist."""
+        if self.phase_dedup:
+            return self._run_cold_dedup(scenario, system, policy, run_key, start)
+        return self._run_cold_phases(scenario, system, policy, run_key, start)
+
+    def _run_cold_dedup(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy],
+        run_key: str,
+        start: float,
+    ) -> ScenarioRunResult:
+        """Signature-deduplicated cold path: solve per distinct signature.
+
+        Phases are canonicalized to :class:`PhaseSignature` *after*
+        planning (dynamic policies are history-dependent — hysteresis can
+        make identical phases plan differently — so signatures must derive
+        from the decisions, not the raw phases).  Each distinct signature
+        lowers once, enters the leaf batch once, solves contention once and
+        builds its :class:`ResidentExecution` tuple once; the per-phase
+        view is reconstructed lazily.  Every computed float goes through
+        exactly the arithmetic of the per-phase path on the same inputs, so
+        the executions are bit-identical.
+        """
+        runner = self._runner()
+        self._validate_demands(scenario)
+        profiles = self._profiles(scenario)
+        tel = telemetry()
+        with tel.span(
+            "scenario.plan", system=system, phases=len(scenario.phases)
+        ):
+            decisions, morpheus = self._plan(scenario, system, policy, profiles)
+
+        signatures: List[PhaseSignature] = []
+        signature_leaves: List[Tuple[LoweredLeaf, ...]] = []
+        signature_counts: List[int] = []
+        signature_index: Dict[PhaseSignature, int] = {}
+        signature_ids: List[int] = []
+        transitions: List[TransitionCost] = []
+        transition_index: Dict[TransitionCost, int] = {}
+        transition_ids: List[int] = []
+        with tel.span(
+            "scenario.lower", system=system, phases=len(scenario.phases)
+        ):
+            for phase, decision in zip(scenario.phases, decisions):
+                grants = self._decision_grants(phase, decision)
+                signature = PhaseSignature(
+                    residents=phase.residents,
+                    duration_weight=phase.duration_weight,
+                    split=decision.split,
+                    grants=grants,
+                )
+                signature_id = signature_index.get(signature)
+                if signature_id is None:
+                    signature_id = len(signatures)
+                    signature_index[signature] = signature_id
+                    signatures.append(signature)
+                    signature_counts.append(0)
+                    signature_leaves.append(
+                        tuple(
+                            LoweredLeaf(
+                                grant=grant,
+                                config=self._leaf_config(grant, morpheus, system),
+                            )
+                            for grant in grants
+                        )
+                    )
+                signature_counts[signature_id] += 1
+                signature_ids.append(signature_id)
+                transition = decision.transition
+                transition_id = transition_index.get(transition)
+                if transition_id is None:
+                    transition_id = len(transitions)
+                    transition_index[transition] = transition_id
+                    transitions.append(transition)
+                transition_ids.append(transition_id)
+        if tel.enabled:
+            tel.count("scenario.dedup.hits", len(signature_ids) - len(signatures))
+            tel.count("scenario.dedup.misses", len(signatures))
+
+        # One replay-pooled leaf batch over the distinct signatures' leaves
+        # (phase-order first-seen, exactly the order the per-phase path
+        # discovers them in).
+        unique: List[Tuple[str, SimulationConfig]] = []
+        seen = set()
+        for leaves in signature_leaves:
+            for leaf in leaves:
+                key = (leaf.application, leaf.config)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(key)
+        batch = runner.run_leaves(
+            [(profiles[application], config) for application, config in unique]
+        )
+        stats_by_leaf: Dict[Tuple[str, SimulationConfig], SimulationStats] = dict(
+            zip(unique, batch)
+        )
+
+        # Contention: one fixed point per distinct co-run *leaf set* (two
+        # signatures differing only in duration weight share a solve),
+        # hoisted scorers and one persistence batch across all of them.
+        signature_keys = [
+            tuple((leaf.application, leaf.config) for leaf in leaves)
+            for leaves in signature_leaves
+        ]
+        group_order: List[Tuple[Tuple[str, SimulationConfig], ...]] = []
+        group_index: Dict[Tuple[Tuple[str, SimulationConfig], ...], int] = {}
+        for keys in signature_keys:
+            if len(keys) > 1 and keys not in group_index:
+                group_index[keys] = len(group_order)
+                group_order.append(keys)
+        with tel.span("scenario.arbitrate", system=system) as arbitrate_span:
+            solved = solve_scenario_contention(
+                runner,
+                self.gpu,
+                [
+                    (
+                        [
+                            (profiles[application], config)
+                            for application, config in keys
+                        ],
+                        [stats_by_leaf[key] for key in keys],
+                    )
+                    for keys in group_order
+                ],
+                self.contention,
+            )
+            arbitrate_span.set(corun_sets=len(group_order))
+        solutions: Dict[
+            Tuple[Tuple[str, SimulationConfig], ...], PhaseContentionSolution
+        ] = dict(zip(group_order, solved))
+
+        executions: List[SignatureExecution] = []
+        for signature, leaves, keys, count in zip(
+            signatures, signature_leaves, signature_keys, signature_counts
+        ):
+            uncontended = [stats_by_leaf[key] for key in keys]
+            if len(keys) > 1:
+                solution = solutions[keys]
+                leaf_stats: Sequence[SimulationStats] = solution.stats
+                envelopes: Sequence[ResourceEnvelope] = solution.envelopes
+            else:
+                leaf_stats = uncontended
+                envelopes = (DEFAULT_ENVELOPE,) * len(keys)
+            instructions = (
+                signature.duration_weight * scenario.instructions_per_weight
+            )
+            aggregate_ipc = sum(stats.ipc for stats in leaf_stats)
+            compute_cycles = instructions / max(aggregate_ipc, 1e-9)
+            executions.append(
+                SignatureExecution(
+                    signature=signature,
+                    residents=tuple(
+                        ResidentExecution(
+                            grant=leaf.grant,
+                            stats=stats,
+                            instructions=stats.ipc * compute_cycles,
+                            envelope=envelope,
+                            uncontended_ipc=base.ipc,
+                        )
+                        for leaf, stats, envelope, base in zip(
+                            leaves, leaf_stats, envelopes, uncontended
+                        )
+                    ),
+                    instructions=instructions,
+                    compute_cycles=compute_cycles,
+                    count=count,
+                )
+            )
+            if tel.enabled:
+                tel.event(
+                    "scenario.signature",
+                    system=system,
+                    residents=len(keys),
+                    corun=len(keys) > 1,
+                    phases=count,
+                    compute_cycles=compute_cycles,
+                )
+        result = ScenarioRunResult(
+            scenario=scenario,
+            system=system,
+            policy_name=self._policy_name(system, policy),
+            phases=SignaturePhases(
+                scenario,
+                tuple(executions),
+                tuple(signature_ids),
+                tuple(transitions),
+                tuple(transition_ids),
+            ),
+            run_key=run_key,
+            elapsed_seconds=time.perf_counter() - start,
+            signatures=tuple(executions),
+        )
+        runner.store_scenario_payload(
+            run_key,
+            self._signature_payload(
+                result.policy_name,
+                tuple(executions),
+                signature_ids,
+                transitions,
+                transition_ids,
+            ),
+        )
+        return result
+
+    def _run_cold_phases(
+        self,
+        scenario: ScenarioSpec,
+        system: str,
+        policy: Optional[CapacityPolicy],
+        run_key: str,
+        start: float,
+    ) -> ScenarioRunResult:
+        """The per-phase cold path (``phase_dedup=False``): one solve per phase.
+
+        Kept as the reference implementation the deduplicated path is
+        benchmarked and bit-identity-tested against.
+        """
         runner = self._runner()
         lowered = self.lower(scenario, system, policy)
         profiles = self._profiles(scenario)
@@ -626,6 +999,148 @@ class ScenarioEngine:
         }
 
     @staticmethod
+    def _signature_payload(
+        policy_name: str,
+        executions: Tuple[SignatureExecution, ...],
+        signature_ids: Sequence[int],
+        transitions: Sequence[TransitionCost],
+        transition_ids: Sequence[int],
+    ) -> Dict[str, Any]:
+        """Serialize a deduplicated run in the signature-keyed layout.
+
+        O(signatures) payload for an O(phases) timeline: the distinct
+        signature executions and interned transitions are stored once, and
+        each phase contributes one ``[signature_id, transition_id]`` pair.
+        This layout is what :data:`SCENARIO_SCHEMA_VERSION` 4 names; the
+        legacy per-phase layout remains readable.
+        """
+        return {
+            "layout": "signatures",
+            "policy_name": policy_name,
+            "signatures": [
+                {
+                    "residents_spec": [
+                        dataclasses.asdict(residency)
+                        for residency in execution.signature.residents
+                    ],
+                    "duration_weight": execution.signature.duration_weight,
+                    "split": dataclasses.asdict(execution.signature.split),
+                    "grants": [
+                        dataclasses.asdict(grant)
+                        for grant in execution.signature.grants
+                    ],
+                    "residents": [
+                        {
+                            "grant": dataclasses.asdict(resident.grant),
+                            "stats": stats_to_jsonable(resident.stats),
+                            "instructions": resident.instructions,
+                            "envelope": dataclasses.asdict(resident.envelope),
+                            "uncontended_ipc": resident.uncontended_ipc,
+                        }
+                        for resident in execution.residents
+                    ],
+                    "instructions": execution.instructions,
+                    "compute_cycles": execution.compute_cycles,
+                    "count": execution.count,
+                }
+                for execution in executions
+            ],
+            "transitions": [
+                dataclasses.asdict(transition) for transition in transitions
+            ],
+            "phases": [
+                [signature_id, transition_id]
+                for signature_id, transition_id in zip(
+                    signature_ids, transition_ids
+                )
+            ],
+        }
+
+    @staticmethod
+    def _result_from_signature_payload(
+        scenario: ScenarioSpec,
+        system: str,
+        run_key: str,
+        payload: Mapping[str, Any],
+        elapsed_seconds: float,
+    ) -> ScenarioRunResult:
+        """Rebuild a deduplicated run from :meth:`_signature_payload`."""
+        entries = payload["phases"]
+        if len(entries) != len(scenario.phases):
+            raise ValueError(
+                f"aggregate has {len(entries)} phases for a "
+                f"{len(scenario.phases)}-phase scenario"
+            )
+        transitions = tuple(
+            TransitionCost(**entry) for entry in payload["transitions"]
+        )
+        executions = []
+        for entry in payload["signatures"]:
+            signature = PhaseSignature(
+                residents=tuple(
+                    Residency(**residency)
+                    for residency in entry["residents_spec"]
+                ),
+                duration_weight=entry["duration_weight"],
+                split=MorpheusOperatingPoint(**entry["split"]),
+                grants=tuple(
+                    ResidentGrant(**grant) for grant in entry["grants"]
+                ),
+            )
+            executions.append(
+                SignatureExecution(
+                    signature=signature,
+                    residents=tuple(
+                        ResidentExecution(
+                            grant=ResidentGrant(**resident["grant"]),
+                            stats=stats_from_jsonable(resident["stats"]),
+                            instructions=resident["instructions"],
+                            envelope=ResourceEnvelope(**resident["envelope"]),
+                            uncontended_ipc=resident["uncontended_ipc"],
+                        )
+                        for resident in entry["residents"]
+                    ),
+                    instructions=entry["instructions"],
+                    compute_cycles=entry["compute_cycles"],
+                    count=entry["count"],
+                )
+            )
+        signature_ids: List[int] = []
+        transition_ids: List[int] = []
+        for item in entries:
+            signature_id, transition_id = item
+            if not isinstance(signature_id, int) or not isinstance(
+                transition_id, int
+            ):
+                raise ValueError("aggregate phase ids must be integers")
+            if not 0 <= signature_id < len(executions):
+                raise ValueError(
+                    f"aggregate signature id {signature_id} out of range"
+                )
+            if not 0 <= transition_id < len(transitions):
+                raise ValueError(
+                    f"aggregate transition id {transition_id} out of range"
+                )
+            signature_ids.append(signature_id)
+            transition_ids.append(transition_id)
+        executions = tuple(executions)
+        return ScenarioRunResult(
+            scenario=scenario,
+            system=system,
+            policy_name=payload["policy_name"],
+            phases=SignaturePhases(
+                scenario,
+                executions,
+                tuple(signature_ids),
+                transitions,
+                tuple(transition_ids),
+            ),
+            run_key=run_key,
+            elapsed_seconds=elapsed_seconds,
+            signatures=executions,
+        )
+
+    @staticmethod
     def _result_from_payload(
         scenario: ScenarioSpec,
         system: str,
@@ -633,7 +1148,17 @@ class ScenarioEngine:
         payload: Mapping[str, Any],
         elapsed_seconds: float,
     ) -> ScenarioRunResult:
-        """Rebuild a :class:`ScenarioRunResult` from :meth:`_result_to_payload`."""
+        """Rebuild a :class:`ScenarioRunResult` from a stored aggregate.
+
+        Dispatches on the payload's ``layout``: the signature-keyed layout
+        written by the deduplicating engine, or the legacy per-phase layout
+        (the ``phase_dedup=False`` path still writes it, and pre-bump
+        entries used it exclusively).  Both reconstruct the same phases.
+        """
+        if payload.get("layout", "phases") == "signatures":
+            return ScenarioEngine._result_from_signature_payload(
+                scenario, system, run_key, payload, elapsed_seconds
+            )
         executions = []
         if len(payload["phases"]) != len(scenario.phases):
             raise ValueError(
@@ -722,13 +1247,44 @@ class ScenarioEngine:
         References are memoized per (scenario, system, policy, engine
         parameters) — the same content key addressing the run's scenario
         aggregates — so repeated co-run analyses against the same
-        references do **zero** runner work after the first call.
+        references do **zero** runner work after the first call.  Across
+        processes the computed references are persisted in the cache's
+        scenario tier, so a warm call costs one payload load.
+
+        The cold path plans every application's solo timeline, then
+        deduplicates the per-(application, config) solo leaves **across
+        all applications** into one replay-pooled batch — residents whose
+        solo residencies overlap (the common case: every round of a co-run
+        timeline grants the same shares) cost one leaf execution total,
+        not one per application per phase.  Each reference is the same
+        duration-weighted mean of the same leaf IPCs the per-app runs
+        computed, in the same order, so the values are bit-identical.
         """
         memo_key = self.run_key(scenario, system, policy)
         cached = self._solo_reference_memo.get(memo_key)
         if cached is not None:
             return dict(cached)
-        references: Dict[str, float] = {}
+        runner = self._runner()
+        references_key = content_hash({"solo_references": memo_key})
+        payload = runner.load_scenario_payload(references_key)
+        if payload is not None:
+            try:
+                references = {
+                    str(name): float(value)
+                    for name, value in payload["references"].items()
+                }
+            except (AttributeError, KeyError, TypeError, ValueError):
+                references = None
+            if references is not None and set(references) == set(
+                scenario.applications
+            ):
+                self._solo_reference_memo[memo_key] = dict(references)
+                return references
+        # Cold: plan each solo timeline, dedup the leaves across every
+        # application, execute one batch, and fold the references.
+        unique: List[Tuple[str, SimulationConfig]] = []
+        leaf_index: Dict[Tuple[str, SimulationConfig], int] = {}
+        per_app: Dict[str, List[Tuple[float, int]]] = {}
         for application in scenario.applications:
             phases = tuple(
                 ScenarioPhase(
@@ -750,21 +1306,40 @@ class ScenarioEngine:
                 instructions_per_weight=scenario.instructions_per_weight,
                 description=f"{application}'s residencies of {scenario.name!r}, alone",
             )
-            result = self.run(solo, system, policy)
-            total_weight = sum(
-                execution.phase.duration_weight for execution in result.phases
-            )
+            self._validate_demands(solo)
+            profiles = self._profiles(solo)
+            decisions, morpheus = self._plan(solo, system, policy, profiles)
+            entries: List[Tuple[float, int]] = []
+            for phase, decision in zip(solo.phases, decisions):
+                grant = self._decision_grants(phase, decision)[0]
+                key = (application, self._leaf_config(grant, morpheus, system))
+                index = leaf_index.get(key)
+                if index is None:
+                    index = len(unique)
+                    leaf_index[key] = index
+                    unique.append(key)
+                entries.append((phase.duration_weight, index))
+            per_app[application] = entries
+        batch = runner.run_leaves(
+            [
+                (get_application(application), config)
+                for application, config in unique
+            ]
+        )
+        references = {}
+        for application, entries in per_app.items():
+            total_weight = sum(weight for weight, _ in entries)
             references[application] = (
-                sum(
-                    execution.phase.duration_weight * execution.stats.ipc
-                    for execution in result.phases
-                )
+                sum(weight * batch[index].ipc for weight, index in entries)
                 / total_weight
                 if total_weight > 0
                 else 0.0
             )
+        runner.store_scenario_payload(
+            references_key, {"references": references}
+        )
         self._solo_reference_memo[memo_key] = dict(references)
-        return references
+        return dict(references)
 
     def run_key(
         self,

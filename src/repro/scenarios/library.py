@@ -21,11 +21,18 @@ The shapes mirror how idle GPU capacity actually comes and goes:
   application around overlapping co-run phases.
 * ``ramp`` (alias ``diurnal``) — demand climbing to a peak and easing back
   down, a compressed diurnal load curve.
+* ``fleet`` — a seeded arrival-process generator: tenants arrive with
+  exponential inter-arrival gaps, stay for exponential residencies, and
+  their compute demand follows a quantized diurnal envelope.  Produces
+  deterministic N-phase timelines (thousands of phases, tens of distinct
+  phase signatures) for fleet-scale engine runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import math
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.scenarios.spec import Residency, ScenarioPhase, ScenarioSpec
 
@@ -310,6 +317,109 @@ def ramp(
     )
 
 
+def fleet(
+    applications: Sequence[str] = ("spmv", "cfd", "kmeans"),
+    num_phases: int = 512,
+    seed: int = 1,
+    mean_interarrival_phases: float = 8.0,
+    mean_residency_phases: float = 24.0,
+    max_residents: int = 2,
+    demand_levels: Sequence[int] = (8, 16, 24, 32),
+    diurnal_period: int = 96,
+    total_sm_budget: int = 64,
+    phase_weight: float = 1.0,
+) -> ScenarioSpec:
+    """A seeded fleet timeline: tenant arrivals under a diurnal envelope.
+
+    Tenants (drawn from ``applications``) arrive via an exponential
+    inter-arrival process, stay resident for an exponential number of
+    phases, and each resident's compute demand follows a sinusoidal diurnal
+    envelope *quantized* to ``demand_levels``.  The quantization is what
+    keeps the signature space small: a ``num_phases=5000`` timeline has
+    thousands of phases but only tens of distinct (residents, demand)
+    combinations, which is exactly the shape the engine's phase-signature
+    dedup exploits.
+
+    The generator is deterministic for a given argument set — it draws only
+    from ``random.Random(seed)`` — so the resulting spec (and therefore its
+    ``scenario_key``) is reproducible across processes and platforms.
+
+    Args:
+        applications: Pool of tenant applications.
+        num_phases: Length of the timeline.
+        seed: Seed for the arrival/residency/choice draws.
+        mean_interarrival_phases: Mean phases between tenant arrivals.
+        mean_residency_phases: Mean phases a tenant stays resident.
+        max_residents: Maximum concurrently resident tenants.
+        demand_levels: Ascending per-tenant compute-SM demand levels the
+            diurnal envelope is quantized to.
+        diurnal_period: Phases per diurnal cycle.
+        total_sm_budget: Cap on the aggregate compute demand of a phase;
+            per-tenant demand is clamped to ``total_sm_budget // residents``
+            so every phase fits the GPU regardless of tenancy.
+        phase_weight: ``duration_weight`` of every phase (fleet phases are
+            fixed-length scheduler intervals).
+    """
+    if num_phases <= 0:
+        raise ValueError("num_phases must be positive")
+    if not applications:
+        raise ValueError("fleet needs at least one application")
+    if max_residents <= 0 or max_residents > len(set(applications)):
+        raise ValueError(
+            "max_residents must be in 1..len(set(applications)) "
+            "(residents of a phase must be distinct applications)"
+        )
+    if not demand_levels or any(level <= 0 for level in demand_levels):
+        raise ValueError("demand_levels must be positive")
+    if diurnal_period <= 0:
+        raise ValueError("diurnal_period must be positive")
+    levels = tuple(sorted(demand_levels))
+    if levels[0] > total_sm_budget // max_residents:
+        raise ValueError("smallest demand level exceeds the per-resident budget")
+    rng = random.Random(seed)
+    # Active tenants in admission order: (application, departure phase).
+    active: List[Tuple[str, float]] = []
+
+    def admit(now: int) -> None:
+        resident_names = {name for name, _ in active}
+        candidates = [name for name in applications if name not in resident_names]
+        if not candidates:
+            return
+        application = rng.choice(candidates)
+        residency = 1.0 + rng.expovariate(1.0 / mean_residency_phases)
+        active.append((application, now + residency))
+
+    next_arrival = 0.0
+    phases: List[ScenarioPhase] = []
+    for index in range(num_phases):
+        active[:] = [entry for entry in active if entry[1] > index]
+        while next_arrival <= index:
+            if len(active) < max_residents:
+                admit(index)
+            next_arrival += 1.0 + rng.expovariate(1.0 / mean_interarrival_phases)
+        if not active:
+            # The GPU is never left empty: force-admit a background tenant.
+            admit(index)
+        # Diurnal envelope in [0, 1], quantized to the demand levels.
+        envelope = 0.5 * (1.0 + math.sin(2.0 * math.pi * index / diurnal_period))
+        level = levels[min(int(envelope * len(levels)), len(levels) - 1)]
+        demand = min(level, total_sm_budget // len(active))
+        phases.append(
+            ScenarioPhase(
+                residents=tuple(Residency(name, demand) for name, _ in active),
+                duration_weight=phase_weight,
+            )
+        )
+    return ScenarioSpec(
+        name="fleet",
+        phases=tuple(phases),
+        description=(
+            f"{num_phases}-phase fleet arrival process over "
+            f"{'/'.join(applications)} (seed {seed})"
+        ),
+    )
+
+
 #: Named scenario factories, for declarative lookup by scripts and CI.
 SCENARIO_LIBRARY: Dict[str, Callable[..., ScenarioSpec]] = {
     "steady": steady,
@@ -319,6 +429,7 @@ SCENARIO_LIBRARY: Dict[str, Callable[..., ScenarioSpec]] = {
     "mixed_tenancy": mixed_tenancy,
     "ramp": ramp,
     "diurnal": ramp,
+    "fleet": fleet,
 }
 
 

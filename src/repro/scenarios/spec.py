@@ -49,7 +49,13 @@ from repro.runner.spec import (
 #: contention fixed point), executions carry the contended/uncontended
 #: pair, and scenario aggregates are persisted under
 #: :meth:`~repro.scenarios.engine.ScenarioEngine.run_key`.
-SCENARIO_SCHEMA_VERSION = 3
+#: Version 4: persisted scenario aggregates use the signature-keyed layout
+#: (distinct phase signatures plus per-phase signature/transition ids)
+#: written by the deduplicating engine; the legacy per-phase layout is still
+#: readable, but the layout change invalidates prior scenario-tier entries.
+#: Dedup itself is execution-plan-only — leaf replay/score keys and the
+#: computed per-phase results are unchanged.
+SCENARIO_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -224,14 +230,20 @@ class ScenarioSpec:
         :data:`SCENARIO_SCHEMA_VERSION` plus both leaf schema versions, so a
         replay- or score-behaviour bump invalidates scenario-level aggregates
         exactly as it invalidates the leaf cache entries they derive from.
+
+        Canonicalizing a fleet-scale timeline walks every phase, so the key
+        is computed once and memoized on this (frozen, immutable) instance —
+        a warm re-run of a thousand-phase spec must not pay the O(phases)
+        hash again.
         """
-        return content_hash(
-            {
-                "schema": (
-                    REPLAY_SCHEMA_VERSION,
-                    SCORE_SCHEMA_VERSION,
-                    SCENARIO_SCHEMA_VERSION,
-                ),
-                "scenario": self,
-            }
+        versions = (
+            REPLAY_SCHEMA_VERSION,
+            SCORE_SCHEMA_VERSION,
+            SCENARIO_SCHEMA_VERSION,
         )
+        cached = self.__dict__.get("_scenario_key_memo")
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        key = content_hash({"schema": versions, "scenario": self})
+        object.__setattr__(self, "_scenario_key_memo", (versions, key))
+        return key

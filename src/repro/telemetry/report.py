@@ -152,6 +152,30 @@ def _cache_summary(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
     return tiers
 
 
+def _scenario_summary(
+    counters: Dict[str, float], histograms: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Scenario-engine dedup effectiveness and per-signature solve times.
+
+    ``scenario.dedup.hits`` counts phases served by an already-solved
+    signature; ``scenario.dedup.misses`` counts the distinct signatures
+    actually solved.  ``scenario.signature_solve_seconds`` is the per
+    distinct co-run signature contention-solve wall time.
+    """
+    hits = counters.get("scenario.dedup.hits", 0)
+    misses = counters.get("scenario.dedup.misses", 0)
+    solve = histograms.get("scenario.signature_solve_seconds")
+    if not hits and not misses and solve is None:
+        return {}
+    phases = hits + misses
+    return {
+        "dedup_hits": hits,
+        "dedup_misses": misses,
+        "dedup_hit_rate": hits / phases if phases else 0.0,
+        "signature_solve_seconds": solve,
+    }
+
+
 def _queue_summary(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     jobs: Dict[str, Dict[str, float]] = {}
     lifecycle = {
@@ -245,6 +269,7 @@ def summarize(directory: Path) -> Dict[str, Any]:
         "gauges": gauges,
         "histograms": histograms,
         "cache": _cache_summary(counters),
+        "scenario": _scenario_summary(counters, histograms),
         "queue": _queue_summary(events),
         "slowest": _slowest(spans),
     }
@@ -296,6 +321,25 @@ def render(summary: Dict[str, Any]) -> str:
                 f"{stats['hit_rate'] * 100.0:>8.1f}% "
                 f"{int(stats.get('bytes_read', 0)):>10d} "
                 f"{int(stats.get('bytes_written', 0)):>10d}"
+            )
+
+    scenario = summary.get("scenario") or {}
+    if scenario:
+        lines.append("")
+        lines.append("scenario engine")
+        lines.append(
+            f"  phase dedup   hits {int(scenario['dedup_hits'])}  "
+            f"signatures {int(scenario['dedup_misses'])}  "
+            f"hit rate {scenario['dedup_hit_rate'] * 100.0:.1f}%"
+        )
+        solve = scenario.get("signature_solve_seconds")
+        if solve:
+            lines.append(
+                f"  signature solve ({solve['count']})  "
+                f"p50 {_fmt_seconds(solve['p50'])}  "
+                f"p95 {_fmt_seconds(solve['p95'])}  "
+                f"p99 {_fmt_seconds(solve['p99'])}  "
+                f"max {_fmt_seconds(solve['max'])}"
             )
 
     queue = summary["queue"]

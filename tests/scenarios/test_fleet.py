@@ -1,0 +1,75 @@
+"""Tests for the seeded fleet arrival-process scenario generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import SCENARIO_LIBRARY, ScenarioSpec, fleet, get_scenario
+
+
+class TestFleetShape:
+    def test_registered_in_library(self):
+        assert SCENARIO_LIBRARY["fleet"] is fleet
+        spec = get_scenario("fleet", num_phases=16, seed=9)
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.name == "fleet"
+        assert len(spec.phases) == 16
+
+    def test_deterministic_for_a_seed(self):
+        assert fleet(num_phases=200, seed=4) == fleet(num_phases=200, seed=4)
+        assert (
+            fleet(num_phases=200, seed=4).scenario_key()
+            == fleet(num_phases=200, seed=4).scenario_key()
+        )
+
+    def test_seed_changes_the_timeline(self):
+        assert fleet(num_phases=200, seed=4) != fleet(num_phases=200, seed=5)
+
+    def test_every_phase_within_bounds(self):
+        budget = 64
+        spec = fleet(num_phases=300, seed=7, max_residents=2, total_sm_budget=budget)
+        pool = {"spmv", "cfd", "kmeans"}
+        for phase in spec.phases:
+            assert 1 <= len(phase.residents) <= 2
+            names = [residency.application for residency in phase.residents]
+            assert len(set(names)) == len(names), "duplicate resident application"
+            assert set(names) <= pool
+            # Residents share the phase's quantized demand level equally.
+            assert len({r.compute_sm_demand for r in phase.residents}) == 1
+            assert sum(r.compute_sm_demand for r in phase.residents) <= budget
+            assert phase.duration_weight == 1.0
+
+    def test_demands_come_from_the_quantized_levels(self):
+        levels = (8, 16, 24, 32)
+        spec = fleet(num_phases=300, seed=7, demand_levels=levels)
+        seen = {
+            residency.compute_sm_demand
+            for phase in spec.phases
+            for residency in phase.residents
+        }
+        assert seen <= set(levels)
+        # The diurnal envelope actually varies the level across the timeline.
+        assert len(seen) > 1
+
+    def test_collapses_to_few_distinct_phase_shapes(self):
+        spec = fleet(num_phases=500, seed=3)
+        distinct = {(phase.residents, phase.duration_weight) for phase in spec.phases}
+        assert 0 < len(distinct) < len(spec.phases) // 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_phases": 0},
+            {"applications": ()},
+            {"max_residents": 0},
+            {"max_residents": 4},  # only 3 distinct default applications
+            {"demand_levels": ()},
+            {"demand_levels": (0, 16)},
+            {"diurnal_period": 0},
+            # Smallest level cannot fit two residents in the budget.
+            {"demand_levels": (64,), "total_sm_budget": 64, "max_residents": 2},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            fleet(**kwargs)
